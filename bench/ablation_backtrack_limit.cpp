@@ -1,0 +1,33 @@
+// Ablation A2 — sensitivity to the paper's abort policy (§6: "test pattern
+// generation was aborted after either 100 backtracks for the local test
+// pattern generator, or 100 backtracks for the sequential one").
+#include <cstdio>
+
+#include "circuits/catalog.hpp"
+#include "core/delay_atpg.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> circuits =
+      argc > 1 ? std::vector<std::string>(argv + 1, argv + argc)
+               : std::vector<std::string>{"s27", "s298"};
+  std::printf("Ablation A2 — backtrack limit sweep\n");
+  std::printf("%-8s %8s | %7s %7s %7s | %8s\n", "circuit", "limit", "tested",
+              "untstbl", "aborted", "time[s]");
+  for (const std::string& name : circuits) {
+    const gdf::net::Netlist circuit = gdf::circuits::load_circuit(name);
+    for (const int limit : {10, 100, 1000}) {
+      gdf::core::AtpgOptions options;
+      options.local.backtrack_limit = limit;
+      options.sequential.backtrack_limit = limit;
+      const gdf::core::FogbusterResult r =
+          gdf::core::run_delay_atpg(circuit, options);
+      std::printf("%-8s %8d | %7d %7d %7d | %8.1f\n", name.c_str(), limit,
+                  r.tested(), r.untestable(), r.aborted(), r.seconds);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nlarger limits convert aborted faults into tested or "
+              "proven-untestable ones\nat a time cost — the trade the "
+              "paper fixes at 100/100.\n");
+  return 0;
+}

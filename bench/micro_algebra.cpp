@@ -1,0 +1,75 @@
+// Micro-benchmarks (M1): throughput of the eight-valued algebra kernels
+// that dominate TDgen's implication fixpoint and TDsim's injections.
+#include <benchmark/benchmark.h>
+
+#include "algebra/frame_sim.hpp"
+#include "algebra/model.hpp"
+#include "algebra/tables.hpp"
+#include "circuits/catalog.hpp"
+#include "netlist/fanout.hpp"
+
+namespace {
+
+using namespace gdf;
+
+void BM_ValueAnd(benchmark::State& state) {
+  const alg::DelayAlgebra& a = alg::robust_algebra();
+  int i = 0;
+  for (auto _ : state) {
+    const auto x = static_cast<alg::V8>(i & 7);
+    const auto y = static_cast<alg::V8>((i >> 3) & 7);
+    benchmark::DoNotOptimize(a.v_and(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_ValueAnd);
+
+void BM_SetForward(benchmark::State& state) {
+  const alg::DelayAlgebra& a = alg::robust_algebra();
+  std::uint8_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        a.set_fwd(alg::Op2::And, i, static_cast<alg::VSet>(~i)));
+    ++i;
+    if (i == 0) {
+      i = 1;
+    }
+  }
+}
+BENCHMARK(BM_SetForward);
+
+void BM_SetBackward(benchmark::State& state) {
+  const alg::DelayAlgebra& a = alg::robust_algebra();
+  std::uint8_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.set_bwd_first(
+        alg::Op2::Or, alg::kFullSet, i, static_cast<alg::VSet>(i | 1)));
+    ++i;
+    if (i == 0) {
+      i = 1;
+    }
+  }
+}
+BENCHMARK(BM_SetBackward);
+
+void BM_TwoFrameSim(benchmark::State& state) {
+  const net::Netlist nl = net::expand_fanout_branches(
+      circuits::load_circuit(state.range(0) == 0 ? "s298" : "s1196"));
+  const alg::AtpgModel model(nl);
+  const alg::TwoFrameSim sim(model, alg::robust_algebra());
+  alg::TwoFrameStimulus stimulus;
+  stimulus.pi_sets.assign(nl.inputs().size(), alg::kPrimaryDomain);
+  stimulus.ppi_sets.assign(nl.dffs().size(), alg::kPrimaryDomain);
+  std::vector<alg::VSet> sets;
+  for (auto _ : state) {
+    sim.run(stimulus, nullptr, sets);
+    benchmark::DoNotOptimize(sets.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(model.node_count()));
+}
+BENCHMARK(BM_TwoFrameSim)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

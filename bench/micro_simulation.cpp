@@ -1,0 +1,63 @@
+// Micro-benchmarks (M1): the sequential simulators behind SEMILET and
+// FAUSIM — scalar five-valued frames vs the 64-lane dual-rail evaluator.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "circuits/catalog.hpp"
+#include "sim/parallel3.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace {
+
+using namespace gdf;
+using sim::Lv;
+
+void BM_ScalarFrame(benchmark::State& state) {
+  const net::Netlist nl = circuits::load_circuit("s838");
+  const sim::SeqSimulator simulator(nl);
+  Rng rng(7);
+  sim::InputVec pis(nl.inputs().size());
+  for (Lv& v : pis) {
+    v = rng.next_bool() ? Lv::One : Lv::Zero;
+  }
+  sim::StateVec st(nl.dffs().size(), Lv::Zero);
+  std::vector<Lv> lines;
+  for (auto _ : state) {
+    simulator.eval_frame(pis, st, lines);
+    st = simulator.next_state(lines);
+    benchmark::DoNotOptimize(st.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(nl.size()));
+}
+BENCHMARK(BM_ScalarFrame);
+
+void BM_ParallelFrame64Lanes(benchmark::State& state) {
+  const net::Netlist nl = circuits::load_circuit("s838");
+  const sim::ParallelSim3 simulator(nl);
+  Rng rng(7);
+  std::vector<sim::Word3> pis(nl.inputs().size());
+  for (auto& w : pis) {
+    w.ones = rng.next();
+    w.zeros = ~w.ones;
+  }
+  std::vector<sim::Word3> st(nl.dffs().size());
+  for (auto& w : st) {
+    w.ones = rng.next();
+    w.zeros = ~w.ones;
+  }
+  std::vector<sim::Word3> lines;
+  for (auto _ : state) {
+    simulator.eval_frame(pis, st, lines);
+    st = simulator.next_state(lines);
+    benchmark::DoNotOptimize(st.data());
+  }
+  // 64 machines per pass.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(nl.size()) * 64);
+}
+BENCHMARK(BM_ParallelFrame64Lanes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

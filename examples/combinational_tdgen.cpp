@@ -1,0 +1,62 @@
+// Scenario: robust delay-fault tests for a purely combinational block
+// (the classic c17), using TDgen directly — what the paper's §3 local
+// test generator does on its own. Shows the eight-valued stimulus sets a
+// test consists of and verifies one by injection simulation.
+#include <cstdio>
+
+#include "algebra/frame_sim.hpp"
+#include "circuits/embedded.hpp"
+#include "netlist/fanout.hpp"
+#include "tdgen/tdgen.hpp"
+
+int main() {
+  using namespace gdf;
+
+  const net::Netlist circuit =
+      net::expand_fanout_branches(circuits::make_c17());
+  const alg::AtpgModel model(circuit);
+  const alg::DelayAlgebra& algebra = alg::robust_algebra();
+
+  int found = 0, untestable = 0;
+  for (const tdgen::DelayFault& fault : tdgen::enumerate_faults(circuit)) {
+    tdgen::TdgenSearch search(model, algebra, fault);
+    tdgen::LocalTest test;
+    if (search.next(&test) != tdgen::TdgenStatus::TestFound) {
+      ++untestable;
+      continue;
+    }
+    ++found;
+    if (found == 1) {
+      std::printf("test for %s:\n  PI value sets (V1->V2 waveforms): ",
+                  tdgen::fault_name(circuit, fault).c_str());
+      for (const alg::VSet s : test.pi_sets) {
+        std::printf("%s ", alg::vset_to_string(s).c_str());
+      }
+      const auto v1 = tdgen::initial_frame_pis(test);
+      const auto v2 = tdgen::test_frame_pis(test);
+      std::printf("\n  V1 = ");
+      for (const int b : v1) {
+        std::printf("%c", b < 0 ? 'X' : static_cast<char>('0' + b));
+      }
+      std::printf("   V2 = ");
+      for (const int b : v2) {
+        std::printf("%c", b < 0 ? 'X' : static_cast<char>('0' + b));
+      }
+
+      // Independent check: inject the fault, simulate both frames, and
+      // confirm a carrier-only value at an output for every X fill.
+      const alg::TwoFrameSim sim(model, algebra);
+      alg::TwoFrameStimulus stimulus{test.pi_sets, test.ppi_sets};
+      const alg::FaultSpec spec{model.head_of(fault.line),
+                                fault.slow_to_rise};
+      std::printf("\n  verified robust: %s\n\n",
+                  sim.guaranteed_observation(stimulus, spec, nullptr)
+                      ? "yes"
+                      : "NO (bug!)");
+    }
+  }
+  std::printf("c17: %d of %d delay faults robustly testable "
+              "(combinational TDgen)\n",
+              found, found + untestable);
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "algebra/frame_sim.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::alg {
+
+VSet vset_primary_from_frames(int initial_bit, int final_bit) {
+  VSet out = 0;
+  for (const V8 v : {V8::Zero, V8::One, V8::Rise, V8::Fall}) {
+    const bool init_ok = initial_bit < 0 || v8_initial(v) == initial_bit;
+    const bool final_ok = final_bit < 0 || v8_final(v) == final_bit;
+    if (init_ok && final_ok) {
+      out |= vset_of(v);
+    }
+  }
+  return out;
+}
+
+void TwoFrameSim::run_forced(const TwoFrameStimulus& stimulus, NodeId forced,
+                             VSet forced_set,
+                             std::vector<VSet>& node_sets) const {
+  run(stimulus, nullptr, node_sets);
+  // Re-evaluate the forced node's cone with the overridden value. Nodes
+  // outside the cone keep their fault-free sets.
+  node_sets[forced] = forced_set;
+  std::vector<bool> dirty(model_->node_count(), false);
+  dirty[forced] = true;
+  for (NodeId id = forced + 1; id < model_->node_count(); ++id) {
+    const Node& n = model_->node(id);
+    if (n.source()) {
+      continue;
+    }
+    const bool affected = dirty[n.in0] ||
+                          (n.in1 != kNoNode && dirty[n.in1]);
+    if (!affected) {
+      continue;
+    }
+    dirty[id] = true;
+    switch (n.kind) {
+      case NodeKind::Buf:
+        node_sets[id] = node_sets[n.in0];
+        break;
+      case NodeKind::Not:
+        node_sets[id] = algebra_->set_not(node_sets[n.in0]);
+        break;
+      case NodeKind::And2:
+        node_sets[id] =
+            algebra_->set_fwd(Op2::And, node_sets[n.in0], node_sets[n.in1]);
+        break;
+      case NodeKind::Or2:
+        node_sets[id] =
+            algebra_->set_fwd(Op2::Or, node_sets[n.in0], node_sets[n.in1]);
+        break;
+      case NodeKind::Xor2:
+        node_sets[id] =
+            algebra_->set_fwd(Op2::Xor, node_sets[n.in0], node_sets[n.in1]);
+        break;
+      case NodeKind::Pi:
+      case NodeKind::Ppi:
+        break;
+    }
+  }
+}
+
+void TwoFrameSim::run(const TwoFrameStimulus& stimulus,
+                      const FaultSpec* fault,
+                      std::vector<VSet>& node_sets) const {
+  const AtpgModel& m = *model_;
+  GDF_ASSERT(stimulus.pi_sets.size() == m.pis().size(),
+             "PI stimulus size mismatch");
+  GDF_ASSERT(stimulus.ppi_sets.size() == m.ppis().size(),
+             "PPI stimulus size mismatch");
+  node_sets.assign(m.node_count(), kEmptySet);
+  for (std::size_t i = 0; i < m.pis().size(); ++i) {
+    node_sets[m.pis()[i]] =
+        static_cast<VSet>(stimulus.pi_sets[i] & kPrimaryDomain);
+  }
+  for (std::size_t i = 0; i < m.ppis().size(); ++i) {
+    node_sets[m.ppis()[i]] =
+        static_cast<VSet>(stimulus.ppi_sets[i] & kPrimaryDomain);
+  }
+  for (NodeId id = 0; id < m.node_count(); ++id) {
+    const Node& n = m.node(id);
+    switch (n.kind) {
+      case NodeKind::Pi:
+      case NodeKind::Ppi:
+        break;
+      case NodeKind::Buf:
+        node_sets[id] = node_sets[n.in0];
+        break;
+      case NodeKind::Not:
+        node_sets[id] = algebra_->set_not(node_sets[n.in0]);
+        break;
+      case NodeKind::And2:
+        node_sets[id] =
+            algebra_->set_fwd(Op2::And, node_sets[n.in0], node_sets[n.in1]);
+        break;
+      case NodeKind::Or2:
+        node_sets[id] =
+            algebra_->set_fwd(Op2::Or, node_sets[n.in0], node_sets[n.in1]);
+        break;
+      case NodeKind::Xor2:
+        node_sets[id] =
+            algebra_->set_fwd(Op2::Xor, node_sets[n.in0], node_sets[n.in1]);
+        break;
+    }
+    if (fault != nullptr && fault->site == id) {
+      node_sets[id] =
+          DelayAlgebra::site_transform(node_sets[id], fault->slow_to_rise);
+    }
+  }
+}
+
+bool TwoFrameSim::guaranteed_observation(const TwoFrameStimulus& stimulus,
+                                         const FaultSpec& fault,
+                                         std::vector<NodeId>* where) const {
+  std::vector<VSet> node_sets;
+  run(stimulus, &fault, node_sets);
+  bool observed = false;
+  for (const NodeId obs : model_->observation_points()) {
+    const VSet s = node_sets[obs];
+    if (s != kEmptySet && (s & ~kCarrierSet) == 0) {
+      observed = true;
+      if (where != nullptr) {
+        where->push_back(obs);
+      }
+    }
+  }
+  return observed;
+}
+
+}  // namespace gdf::alg

@@ -1,0 +1,87 @@
+// Decomposed circuit model for the eight-valued engines.
+//
+// Every netlist gate is expanded into a chain of two-input associative
+// bodies (And2/Or2/Xor2) plus explicit Not/Buf nodes, so that set-level
+// implication is local and exact per node. The last node of each gate's
+// chain is the gate's "head": it carries the original gate's output line,
+// is the fault site for that line, and holds the PO/PPO observability
+// roles. Node ids are topologically ordered by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algebra/tables.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gdf::alg {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+enum class NodeKind : std::uint8_t { Pi, Ppi, And2, Or2, Xor2, Not, Buf };
+
+struct Node {
+  NodeKind kind = NodeKind::Buf;
+  NodeId in0 = kNoNode;
+  NodeId in1 = kNoNode;  ///< kNoNode for unary kinds
+  net::GateId origin = net::kNoGate;  ///< set on head nodes only
+  std::int32_t pi_index = -1;   ///< position in Netlist::inputs() (Pi only)
+  std::int32_t ppi_index = -1;  ///< position in Netlist::dffs() (Ppi only)
+  bool is_po = false;           ///< head of a primary-output gate
+
+  bool unary() const { return kind == NodeKind::Not || kind == NodeKind::Buf; }
+  bool source() const { return kind == NodeKind::Pi || kind == NodeKind::Ppi; }
+};
+
+class AtpgModel {
+ public:
+  explicit AtpgModel(const net::Netlist& nl);
+
+  const net::Netlist& netlist() const { return *nl_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::span<const NodeId> fanout(NodeId id) const { return fanouts_[id]; }
+
+  /// Node completing the function of netlist gate `g`.
+  NodeId head_of(net::GateId g) const { return head_[g]; }
+
+  std::span<const NodeId> pis() const { return pi_nodes_; }
+  std::span<const NodeId> ppis() const { return ppi_nodes_; }
+
+  /// Head node of the gate driving flip-flop `dff_index`'s data pin — the
+  /// pseudo primary output of that flip-flop.
+  NodeId ppo_node(std::size_t dff_index) const { return ppo_nodes_[dff_index]; }
+  std::span<const NodeId> ppo_nodes() const { return ppo_nodes_; }
+
+  /// PO heads followed by PPO heads, deduplicated.
+  std::span<const NodeId> observation_points() const { return obs_; }
+  bool is_observation(NodeId id) const { return obs_mask_[id]; }
+
+  /// Minimum node distance to an observation point (large sentinel when
+  /// unreachable) — the propagation guidance heuristic.
+  int obs_distance(NodeId id) const { return obs_distance_[id]; }
+
+  /// Nodes in the transitive fanout of `from` (including `from`): the only
+  /// nodes on which a fault at `from` can place a carrier value.
+  std::vector<NodeId> carrier_cone(NodeId from) const;
+
+ private:
+  NodeId add_node(Node n);
+
+  const net::Netlist* nl_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> fanouts_;
+  std::vector<NodeId> head_;
+  std::vector<NodeId> pi_nodes_;
+  std::vector<NodeId> ppi_nodes_;
+  std::vector<NodeId> ppo_nodes_;
+  std::vector<NodeId> obs_;
+  std::vector<bool> obs_mask_;
+  std::vector<int> obs_distance_;
+};
+
+}  // namespace gdf::alg

@@ -1,0 +1,74 @@
+// Gate truth tables over the eight-valued logic — the paper's Tables 1
+// (AND) and 2 (inverter), with every other gate type derived from them by
+// De Morgan composition exactly as §3 describes.
+//
+// Two algebra modes exist:
+//  * Robust (the paper's model): a falling fault effect (Fc) propagates
+//    through an AND only beside a steady hazard-free 1 or another Fc; a
+//    rising one (Rc) beside any final-1 value.
+//  * NonRobust (the §7 outlook): carriers track (good final, faulty final)
+//    only; Fc additionally survives beside 1h and R. Used by the ablation
+//    bench that quantifies the paper's closing claim.
+#pragma once
+
+#include <array>
+
+#include "algebra/value8.hpp"
+#include "algebra/value_set.hpp"
+
+namespace gdf::alg {
+
+enum class Mode { Robust, NonRobust };
+
+/// Associative two-input bodies the netlist decomposes into. Inversions
+/// (NAND/NOR/NOT/XNOR) become explicit Not nodes.
+enum class Op2 : std::uint8_t { And, Or, Xor };
+
+class DelayAlgebra {
+ public:
+  explicit DelayAlgebra(Mode mode);
+
+  Mode mode() const { return mode_; }
+
+  // Single-value evaluation ------------------------------------------------
+  V8 v_not(V8 a) const;
+  V8 v_and(V8 a, V8 b) const { return and2_[idx(a)][idx(b)]; }
+  V8 v_or(V8 a, V8 b) const { return or2_[idx(a)][idx(b)]; }
+  V8 v_xor(V8 a, V8 b) const { return xor2_[idx(a)][idx(b)]; }
+  V8 eval2(Op2 op, V8 a, V8 b) const;
+
+  // Set-level evaluation ---------------------------------------------------
+  /// Exact image of the Not bijection.
+  VSet set_not(VSet a) const;
+  /// Preimage of the Not bijection (same table, Not is an involution).
+  VSet set_not_pre(VSet out) const { return set_not(out); }
+
+  /// Union of eval2 over all member pairs: possible outputs.
+  VSet set_fwd(Op2 op, VSet a, VSet b) const;
+
+  /// Members of `a` that can, with some member of `b`, produce a value in
+  /// `out` — the backward pruning step of the implication engine.
+  VSet set_bwd_first(Op2 op, VSet a, VSet b, VSet out) const;
+
+  /// Fault-site transform: replaces the activating transition by its
+  /// carrier (R->Rc for slow-to-rise, F->Fc for slow-to-fall). Other values
+  /// pass unchanged.
+  static VSet site_transform(VSet raw, bool slow_to_rise);
+  /// Preimage of site_transform.
+  static VSet site_transform_pre(VSet transformed, bool slow_to_rise);
+
+ private:
+  static int idx(V8 v) { return static_cast<int>(v); }
+
+  Mode mode_;
+  std::array<std::array<V8, 8>, 8> and2_;
+  std::array<std::array<V8, 8>, 8> or2_;
+  std::array<std::array<V8, 8>, 8> xor2_;
+};
+
+/// Shared immutable instances (the tables are pure data).
+const DelayAlgebra& robust_algebra();
+const DelayAlgebra& nonrobust_algebra();
+const DelayAlgebra& algebra_for(Mode mode);
+
+}  // namespace gdf::alg

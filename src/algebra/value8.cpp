@@ -1,0 +1,77 @@
+#include "algebra/value8.hpp"
+
+namespace gdf::alg {
+
+std::string_view v8_name(V8 v) {
+  switch (v) {
+    case V8::Zero:
+      return "0";
+    case V8::One:
+      return "1";
+    case V8::Rise:
+      return "R";
+    case V8::Fall:
+      return "F";
+    case V8::ZeroH:
+      return "0h";
+    case V8::OneH:
+      return "1h";
+    case V8::RiseC:
+      return "Rc";
+    case V8::FallC:
+      return "Fc";
+  }
+  return "?";
+}
+
+int v8_initial(V8 v) {
+  switch (v) {
+    case V8::Zero:
+    case V8::ZeroH:
+    case V8::Rise:
+    case V8::RiseC:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+int v8_final(V8 v) {
+  switch (v) {
+    case V8::Zero:
+    case V8::ZeroH:
+    case V8::Fall:
+    case V8::FallC:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+bool v8_is_carrier(V8 v) { return v == V8::RiseC || v == V8::FallC; }
+
+bool v8_has_hazard(V8 v) { return v == V8::ZeroH || v == V8::OneH; }
+
+bool v8_is_transition(V8 v) {
+  switch (v) {
+    case V8::Rise:
+    case V8::Fall:
+    case V8::RiseC:
+    case V8::FallC:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int v8_final_faulty(V8 v) {
+  if (v == V8::RiseC) {
+    return 0;  // slow-to-rise: still low at the fast sample
+  }
+  if (v == V8::FallC) {
+    return 1;  // slow-to-fall: still high at the fast sample
+  }
+  return v8_final(v);
+}
+
+}  // namespace gdf::alg

@@ -1,0 +1,59 @@
+// The eight-valued two-time-frame logic of TDgen (paper §3).
+//
+// A value describes one signal across the two local frames: the initial
+// frame (applied with a slow clock, fully settled) and the test frame
+// (sampled with the fast clock):
+//
+//   0 / 1   steady, hazard-free
+//   R / F   rising / falling transition between the frames
+//   0h / 1h steady value that may glitch inside the transition window
+//   Rc / Fc transition carrying the fault effect — the delay-fault analogue
+//           of D/D' (paper: "they also carry the fault effect")
+//
+// Hazards are tracked on steady values only: that is exactly the
+// distinction robust propagation needs (a falling fault effect tolerates
+// only a steady hazard-free 1 beside it; a rising one tolerates any final-1
+// waveform). Transitions make no hazard-freedom promise.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gdf::alg {
+
+enum class V8 : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  Rise = 2,
+  Fall = 3,
+  ZeroH = 4,
+  OneH = 5,
+  RiseC = 6,
+  FallC = 7,
+};
+
+inline constexpr int kV8Count = 8;
+
+/// "0", "1", "R", "F", "0h", "1h", "Rc", "Fc".
+std::string_view v8_name(V8 v);
+
+/// Settled value in the initial (first) frame: 0 or 1.
+int v8_initial(V8 v);
+
+/// Sampled value in the test (second) frame of the *good* machine: 0 or 1.
+int v8_final(V8 v);
+
+/// True for Rc / Fc.
+bool v8_is_carrier(V8 v);
+
+/// True for 0h / 1h (steady with possible hazard).
+bool v8_has_hazard(V8 v);
+
+/// True for R / F / Rc / Fc.
+bool v8_is_transition(V8 v);
+
+/// Faulty-machine sampled value in the test frame: carriers are late, so
+/// Rc samples 0 and Fc samples 1; everything else equals v8_final.
+int v8_final_faulty(V8 v);
+
+}  // namespace gdf::alg

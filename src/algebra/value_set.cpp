@@ -1,0 +1,76 @@
+#include "algebra/value_set.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::alg {
+
+V8 vset_only(VSet s) {
+  GDF_ASSERT(vset_is_singleton(s), "vset_only on non-singleton set");
+  return static_cast<V8>(__builtin_ctz(s));
+}
+
+V8 vset_first(VSet s) {
+  GDF_ASSERT(s != 0, "vset_first on empty set");
+  return static_cast<V8>(__builtin_ctz(s));
+}
+
+unsigned vset_initials(VSet s) {
+  unsigned mask = 0;
+  for (int i = 0; i < kV8Count; ++i) {
+    if (vset_contains(s, static_cast<V8>(i))) {
+      mask |= 1u << v8_initial(static_cast<V8>(i));
+    }
+  }
+  return mask;
+}
+
+unsigned vset_finals(VSet s) {
+  unsigned mask = 0;
+  for (int i = 0; i < kV8Count; ++i) {
+    if (vset_contains(s, static_cast<V8>(i))) {
+      mask |= 1u << v8_final(static_cast<V8>(i));
+    }
+  }
+  return mask;
+}
+
+VSet vset_with_initial_in(VSet s, unsigned allowed) {
+  VSet out = 0;
+  for (int i = 0; i < kV8Count; ++i) {
+    const V8 v = static_cast<V8>(i);
+    if (vset_contains(s, v) &&
+        (allowed & (1u << v8_initial(v))) != 0) {
+      out |= vset_of(v);
+    }
+  }
+  return out;
+}
+
+VSet vset_with_final_in(VSet s, unsigned allowed) {
+  VSet out = 0;
+  for (int i = 0; i < kV8Count; ++i) {
+    const V8 v = static_cast<V8>(i);
+    if (vset_contains(s, v) && (allowed & (1u << v8_final(v))) != 0) {
+      out |= vset_of(v);
+    }
+  }
+  return out;
+}
+
+std::string vset_to_string(VSet s) {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < kV8Count; ++i) {
+    if (vset_contains(s, static_cast<V8>(i))) {
+      if (!first) {
+        out += ",";
+      }
+      out += v8_name(static_cast<V8>(i));
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gdf::alg

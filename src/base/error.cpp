@@ -1,0 +1,30 @@
+#include "base/error.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace gdf {
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "GDF_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  std::cerr << os.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace detail
+
+void check(bool cond, const std::string& message) {
+  if (!cond) {
+    throw Error(message);
+  }
+}
+
+}  // namespace gdf

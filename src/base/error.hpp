@@ -1,0 +1,41 @@
+// Error handling primitives shared by all gdfatpg modules.
+//
+// Two categories of failure exist in this code base:
+//  * user-facing errors (bad netlist file, inconsistent options) -> gdf::Error
+//  * internal invariant violations (algorithm bugs)              -> GDF_ASSERT
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gdf {
+
+/// Exception thrown for recoverable, user-facing errors such as parse
+/// failures or invalid API usage. The message is expected to be shown to a
+/// human unchanged.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace detail {
+/// Aborts with a diagnostic; used by GDF_ASSERT below. Never returns.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+/// Throws gdf::Error with the given message if `cond` is false. Use for
+/// conditions caused by user input; they must stay enabled in release builds.
+void check(bool cond, const std::string& message);
+
+}  // namespace gdf
+
+/// Internal invariant check. Enabled in all build types: ATPG correctness
+/// bugs silently produce invalid tests, which is far worse than the cost of
+/// the branch.
+#define GDF_ASSERT(expr, msg)                                        \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::gdf::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                \
+  } while (false)

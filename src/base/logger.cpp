@@ -1,0 +1,38 @@
+#include "base/logger.hpp"
+
+#include <iostream>
+
+namespace gdf {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) {
+    return;
+  }
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace gdf

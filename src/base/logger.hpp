@@ -1,0 +1,52 @@
+// Minimal leveled logger. ATPG runs produce per-fault traces that are only
+// interesting when debugging, so the default level is Warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gdf {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide log level; not thread safe by design (the ATPG is single
+/// threaded, matching the 1995 system).
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& message);
+  static bool enabled(LogLevel level) { return level >= Logger::level(); }
+};
+
+namespace detail {
+/// Builds one log line in its destructor so call sites can stream into it.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace gdf
+
+#define GDF_LOG(level)                            \
+  if (!::gdf::Logger::enabled(level)) {           \
+  } else                                          \
+    ::gdf::detail::LogLine(level)
+
+#define GDF_DEBUG GDF_LOG(::gdf::LogLevel::Debug)
+#define GDF_INFO GDF_LOG(::gdf::LogLevel::Info)
+#define GDF_WARN GDF_LOG(::gdf::LogLevel::Warn)

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generator (xoshiro256**). All random
+// choices in the system (synthetic circuit generation, X-filling before
+// fault simulation) go through this so that every experiment is exactly
+// reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace gdf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Fair coin.
+  bool next_bool();
+
+  /// True with probability `percent`/100.
+  bool next_percent(unsigned percent);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace gdf

@@ -1,0 +1,28 @@
+// Small string helpers used by the .bench parser and the report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gdf {
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// ASCII lower-casing (identifiers in .bench files are case-insensitive).
+std::string to_lower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Renders n right-aligned in a field of `width` characters.
+std::string pad_left(const std::string& text, std::size_t width);
+
+/// Renders text left-aligned in a field of `width` characters.
+std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace gdf

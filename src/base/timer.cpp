@@ -1,0 +1,5 @@
+#include "base/timer.hpp"
+
+// Header-only in practice; this translation unit exists so the library has a
+// stable archive member for the target and a place for future extensions
+// (e.g. CPU-time clocks on platforms that need them).

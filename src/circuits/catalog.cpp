@@ -1,0 +1,29 @@
+#include "circuits/catalog.hpp"
+
+#include "base/error.hpp"
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "circuits/profiles.hpp"
+
+namespace gdf::circuits {
+
+std::vector<std::string> catalog_names() {
+  std::vector<std::string> names;
+  for (const BenchmarkProfile& p : table3_profiles()) {
+    names.push_back(p.name);
+  }
+  names.push_back("c17");
+  return names;
+}
+
+net::Netlist load_circuit(const std::string& name) {
+  if (name == "s27") {
+    return make_s27();
+  }
+  if (name == "c17") {
+    return make_c17();
+  }
+  return generate_iscas_like(profile_for(name));
+}
+
+}  // namespace gdf::circuits

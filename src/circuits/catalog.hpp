@@ -1,0 +1,21 @@
+// Central registry of benchmark circuits used by tests, examples and the
+// bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gdf::circuits {
+
+/// Names of every circuit the catalog can produce, in Table 3 order
+/// (plus "c17" at the end).
+std::vector<std::string> catalog_names();
+
+/// Builds the circuit: exact netlist for s27/c17, generated ISCAS-like
+/// substitute for the other Table 3 entries. Throws gdf::Error for unknown
+/// names. The result is validated.
+net::Netlist load_circuit(const std::string& name);
+
+}  // namespace gdf::circuits

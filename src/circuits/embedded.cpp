@@ -1,0 +1,56 @@
+#include "circuits/embedded.hpp"
+
+#include "netlist/bench_io.hpp"
+
+namespace gdf::circuits {
+
+namespace {
+
+constexpr std::string_view kS27 = R"(# s27 — ISCAS'89 benchmark (exact)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+constexpr std::string_view kC17 = R"(# c17 — ISCAS'85 benchmark (exact)
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+)";
+
+}  // namespace
+
+net::Netlist make_s27() { return net::parse_bench(kS27, "s27"); }
+
+net::Netlist make_c17() { return net::parse_bench(kC17, "c17"); }
+
+std::string_view s27_bench_text() { return kS27; }
+
+std::string_view c17_bench_text() { return kC17; }
+
+}  // namespace gdf::circuits

@@ -1,0 +1,426 @@
+#include "circuits/generator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/validate.hpp"
+
+namespace gdf::circuits {
+
+namespace {
+
+using net::GateType;
+using net::NetlistBuilder;
+
+/// Incremental netlist construction helper: tracks every defined signal
+/// and its read count so random fanin picks always reference existing nets
+/// (the result is a DAG by construction) and so unread signals can be
+/// folded into the primary-output observation trees at the end — the
+/// generated circuits must have no dead logic, or their faults would be
+/// trivially untestable in ways the real benchmarks are not.
+class Weaver {
+ public:
+  Weaver(NetlistBuilder& builder, Rng& rng)
+      : builder_(builder), rng_(rng) {}
+
+  void add_signal(const std::string& name) {
+    index_.emplace(name, pool_.size());
+    pool_.push_back(name);
+    uses_.push_back(0);
+  }
+
+  void mark_read(const std::string& name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      ++uses_[it->second];
+    }
+  }
+
+  std::string fresh_gate(GateType type, std::vector<std::string> fanins) {
+    for (const std::string& in : fanins) {
+      mark_read(in);
+    }
+    std::string name = "g" + std::to_string(gate_count_++);
+    builder_.gate(name, type, std::move(fanins));
+    add_signal(name);
+    return name;
+  }
+
+  /// Random signal, biased toward signals that are not read yet so the
+  /// generated circuit has little dead logic.
+  std::string pick() {
+    GDF_ASSERT(!pool_.empty(), "signal pool is empty");
+    // Two draws; prefer the less-used one.
+    const std::size_t a = rng_.next_below(pool_.size());
+    const std::size_t b = rng_.next_below(pool_.size());
+    const std::size_t chosen = uses_[a] <= uses_[b] ? a : b;
+    return pool_[chosen];
+  }
+
+  /// Random signal from the most recently defined `window` signals;
+  /// keeps the cloud layered (deep paths instead of a flat soup).
+  std::string pick_recent(std::size_t window) {
+    GDF_ASSERT(!pool_.empty(), "signal pool is empty");
+    const std::size_t lo =
+        pool_.size() > window ? pool_.size() - window : 0;
+    const std::size_t chosen = lo + rng_.next_below(pool_.size() - lo);
+    return pool_[chosen];
+  }
+
+  /// Signals nothing reads yet, in definition order.
+  std::vector<std::string> dangling() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (uses_[i] == 0) {
+        out.push_back(pool_[i]);
+      }
+    }
+    return out;
+  }
+
+  /// Gate mix for the observation trees: OR-heavy (the non-controlling
+  /// side value 0 matches the post-reset state, keeping off-path
+  /// justification feasible), occasional XOR parity segments in datapath
+  /// styles.
+  GateType pick_tree_type(bool allow_xor) {
+    const unsigned r = static_cast<unsigned>(rng_.next_below(allow_xor ? 8 : 6));
+    switch (r) {
+      case 0:
+      case 1:
+      case 2:
+        return GateType::Or;
+      case 3:
+      case 4:
+        return GateType::Nand;
+      case 5:
+        return GateType::Nor;
+      default:
+        return GateType::Xor;
+    }
+  }
+
+  GateType pick_gate_type(bool allow_xor) {
+    // Mix modelled on ISCAS'89 statistics: NAND/NOR heavy, some AND/OR,
+    // occasional NOT handled separately by callers. XOR stays rare — it
+    // blocks robust propagation entirely unless its off-path is steady.
+    const unsigned r =
+        static_cast<unsigned>(rng_.next_below(allow_xor ? 9 : 8));
+    switch (r) {
+      case 0:
+      case 1:
+      case 2:
+        return GateType::Nand;
+      case 3:
+      case 4:
+        return GateType::Nor;
+      case 5:
+        return GateType::And;
+      case 6:
+        return GateType::Or;
+      case 7:
+        return GateType::Not;
+      default:
+        return GateType::Xor;
+    }
+  }
+
+  /// One random cloud gate over existing signals. Wide windows keep the
+  /// cloud shallow (the real benchmark circuits are much flatter than a
+  /// recency-chained random graph would be).
+  std::string random_cloud_gate(bool allow_xor, std::size_t window) {
+    const GateType type = pick_gate_type(allow_xor);
+    if (type == GateType::Not) {
+      return fresh_gate(GateType::Not, {pick_recent(window)});
+    }
+    const int arity = rng_.next_percent(15) ? 3 : 2;
+    std::vector<std::string> ins;
+    ins.reserve(static_cast<std::size_t>(arity));
+    for (int i = 0; i < arity; ++i) {
+      ins.push_back(rng_.next_percent(35) ? pick_recent(window) : pick());
+    }
+    return fresh_gate(type, std::move(ins));
+  }
+
+  int gate_count() const { return gate_count_; }
+
+ private:
+  NetlistBuilder& builder_;
+  Rng& rng_;
+  std::vector<std::string> pool_;
+  std::vector<int> uses_;
+  std::unordered_map<std::string, std::size_t> index_;
+  int gate_count_ = 0;
+};
+
+/// Common tail: pad the cloud toward the budget, then fold every dangling
+/// signal into balanced observation trees, one per primary output. This is
+/// what keeps the synthetic circuits honest — every line is observable
+/// somewhere, like in the real ISCAS'89 netlists.
+void finish_outputs(NetlistBuilder& builder, Weaver& weaver, Rng& rng,
+                    const BenchmarkProfile& p, bool allow_xor) {
+  // Each dangling signal will cost roughly one tree gate, so stop padding
+  // when cloud + projected tree size reaches the budget.
+  for (;;) {
+    const int projected =
+        weaver.gate_count() +
+        static_cast<int>(weaver.dangling().size()) - p.primary_outputs;
+    if (projected >= p.logic_gates || weaver.gate_count() > p.logic_gates) {
+      break;
+    }
+    weaver.random_cloud_gate(allow_xor, 24);
+  }
+
+  std::vector<std::string> danglers = weaver.dangling();
+  // Distribute the danglers round-robin over the outputs.
+  std::vector<std::vector<std::string>> buckets(
+      static_cast<std::size_t>(p.primary_outputs));
+  for (std::size_t i = 0; i < danglers.size(); ++i) {
+    buckets[i % buckets.size()].push_back(danglers[i]);
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    std::vector<std::string>& bucket = buckets[i];
+    while (bucket.empty()) {
+      bucket.push_back(weaver.pick());  // starved bucket: observe anything
+    }
+    // Fold pairwise into a balanced tree of mixed gate types.
+    while (bucket.size() > 2) {
+      std::vector<std::string> next;
+      for (std::size_t k = 0; k + 1 < bucket.size(); k += 2) {
+        next.push_back(weaver.fresh_gate(
+            weaver.pick_tree_type(allow_xor), {bucket[k], bucket[k + 1]}));
+      }
+      if (bucket.size() % 2 != 0) {
+        next.push_back(bucket.back());
+      }
+      bucket = std::move(next);
+    }
+    if (bucket.size() == 1) {
+      bucket.push_back(weaver.pick());
+    }
+    const GateType type = rng.next_bool() ? GateType::Nand : GateType::Nor;
+    const std::string po = "po" + std::to_string(i);
+    weaver.mark_read(bucket[0]);
+    weaver.mark_read(bucket[1]);
+    builder.gate(po, type, {bucket[0], bucket[1]});
+    builder.output(po);
+  }
+}
+
+net::Netlist generate_counter_chain(const BenchmarkProfile& p) {
+  Rng rng(p.seed);
+  NetlistBuilder builder(p.name);
+  Weaver weaver(builder, rng);
+
+  std::vector<std::string> pis;
+  for (int i = 0; i < p.primary_inputs; ++i) {
+    const std::string name = "pi" + std::to_string(i);
+    builder.input(name);
+    weaver.add_signal(name);
+    pis.push_back(name);
+  }
+  std::vector<std::string> q;
+  for (int i = 0; i < p.flip_flops; ++i) {
+    const std::string name = "q" + std::to_string(i);
+    weaver.add_signal(name);
+    q.push_back(name);
+  }
+
+  // Control pins modelled on the loadable fractional-multiplier family:
+  // pi0 clears, pi1 enables counting, pi2 loads parallel data computed by
+  // a small input cloud. The load path is what makes deep state bits
+  // controllable at all (without it nearly every fault is sequentially
+  // untestable, far beyond what the paper reports).
+  const std::string nclear = weaver.fresh_gate(GateType::Not, {pis[0]});
+  const std::string load = pis.size() >= 3 ? pis[2] : pis.back();
+  const std::string nload = weaver.fresh_gate(GateType::Not, {load});
+  const std::string enable =
+      p.primary_inputs >= 2
+          ? weaver.fresh_gate(GateType::And, {pis[1], nclear})
+          : nclear;
+  const std::string hold = weaver.fresh_gate(GateType::And, {nclear, nload});
+
+  // Small input cloud supplying the parallel-load data.
+  const int cloud_budget = p.logic_gates / 5;
+  const int cloud_start = weaver.gate_count();
+  while (weaver.gate_count() - cloud_start < cloud_budget) {
+    weaver.random_cloud_gate(/*allow_xor=*/false, 12);
+  }
+
+  // Ripple carry chain: carry0 = enable, carry_{i+1} = carry_i AND q_i;
+  // count value (q_i XOR carry_i) is spelled with NAND gates like the real
+  // fractional multipliers (they contain no XOR primitives):
+  //   d_i = (count_i AND hold) OR (load AND data_i).
+  std::string carry = enable;
+  std::vector<std::string> d(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const std::string nboth =
+        weaver.fresh_gate(GateType::Nand, {q[i], carry});
+    const std::string t1 = weaver.fresh_gate(GateType::Nand, {q[i], nboth});
+    const std::string t2 = weaver.fresh_gate(GateType::Nand, {carry, nboth});
+    const std::string x = weaver.fresh_gate(GateType::Nand, {t1, t2});
+    const std::string keep = weaver.fresh_gate(GateType::And, {x, hold});
+    const std::string data = weaver.pick();
+    const std::string via =
+        weaver.fresh_gate(GateType::And, {load, data});
+    d[i] = weaver.fresh_gate(GateType::Or, {keep, via});
+    if (i + 1 < q.size()) {
+      carry = weaver.fresh_gate(GateType::And, {carry, q[i]});
+    }
+  }
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    weaver.mark_read(d[i]);
+    builder.dff(q[i], d[i]);
+  }
+
+  // Ripple/decode taps: real counters expose their state at the outputs;
+  // without these the state would be unobservable and every state-side
+  // fault sequentially untestable. Taps stay shallow (pairwise) so their
+  // off-path conditions are individually reachable through the load path.
+  // They are left dangling on purpose — finish_outputs folds them into
+  // the PO trees.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    switch (i % 3) {
+      case 0:
+        weaver.fresh_gate(GateType::And, {q[i], q[(i + 1) % q.size()]});
+        break;
+      case 1:
+        weaver.fresh_gate(GateType::Or, {q[i], q[(i + 1) % q.size()]});
+        break;
+      default:
+        // Direct ripple output — no off-path condition at the tap.
+        weaver.fresh_gate(GateType::Buf, {q[i]});
+        break;
+    }
+  }
+
+  finish_outputs(builder, weaver, rng, p, /*allow_xor=*/false);
+  return builder.build();
+}
+
+net::Netlist generate_fsm(const BenchmarkProfile& p) {
+  Rng rng(p.seed);
+  NetlistBuilder builder(p.name);
+  Weaver weaver(builder, rng);
+
+  std::vector<std::string> pis;
+  for (int i = 0; i < p.primary_inputs; ++i) {
+    const std::string name = "pi" + std::to_string(i);
+    builder.input(name);
+    weaver.add_signal(name);
+    pis.push_back(name);
+  }
+  std::vector<std::string> q;
+  for (int i = 0; i < p.flip_flops; ++i) {
+    const std::string name = "q" + std::to_string(i);
+    weaver.add_signal(name);
+    q.push_back(name);
+  }
+
+  const std::string nreset = weaver.fresh_gate(GateType::Not, {pis[0]});
+
+  // Classic controller shape: the next-state logic is two-level over
+  // (state, inputs) with a ring-shift backbone — real controllers walk
+  // through a structured, *reachable* state space, unlike a random
+  // combinational tangle. Most bits reset; a few free-run (the source of
+  // sequentially untestable faults the paper discusses).
+  const auto literal = [&](bool state_ok) -> std::string {
+    std::string lit;
+    if (state_ok && rng.next_percent(40)) {
+      lit = q[rng.next_below(q.size())];
+    } else {
+      lit = pis[rng.next_below(pis.size())];
+    }
+    if (rng.next_percent(35)) {
+      lit = weaver.fresh_gate(GateType::Not, {lit});
+    } else {
+      weaver.mark_read(lit);
+    }
+    return lit;
+  };
+  for (int i = 0; i < p.flip_flops; ++i) {
+    const std::string& prev =
+        q[static_cast<std::size_t>((i + p.flip_flops - 1) % p.flip_flops)];
+    const std::string shift_term =
+        weaver.fresh_gate(GateType::And, {prev, literal(false)});
+    const std::string set_term = weaver.fresh_gate(
+        GateType::And, {literal(false), literal(true)});
+    std::string d =
+        weaver.fresh_gate(GateType::Or, {shift_term, set_term});
+    if (i % 4 != 3) {
+      d = weaver.fresh_gate(GateType::And, {d, nreset});
+    }
+    weaver.mark_read(d);
+    builder.dff(q[static_cast<std::size_t>(i)], d);
+  }
+
+  finish_outputs(builder, weaver, rng, p, /*allow_xor=*/false);
+  return builder.build();
+}
+
+net::Netlist generate_arithmetic(const BenchmarkProfile& p) {
+  Rng rng(p.seed);
+  NetlistBuilder builder(p.name);
+  Weaver weaver(builder, rng);
+
+  for (int i = 0; i < p.primary_inputs; ++i) {
+    const std::string name = "pi" + std::to_string(i);
+    builder.input(name);
+    weaver.add_signal(name);
+  }
+  std::vector<std::string> q;
+  for (int i = 0; i < p.flip_flops; ++i) {
+    const std::string name = "q" + std::to_string(i);
+    weaver.add_signal(name);
+    q.push_back(name);
+  }
+
+  // Layered reconvergent cloud first (roughly 60% of the budget), then the
+  // register taps, then the PO decode handled by finish_outputs.
+  const int cloud_budget = (p.logic_gates * 6) / 10;
+  while (weaver.gate_count() < cloud_budget) {
+    weaver.random_cloud_gate(/*allow_xor=*/true, 64);
+  }
+
+  const std::string nreset =
+      weaver.fresh_gate(GateType::Not, {std::string("pi0")});
+  for (int i = 0; i < p.flip_flops; ++i) {
+    std::string d = weaver.random_cloud_gate(/*allow_xor=*/true, 32);
+    if (i % 3 != 2) {
+      d = weaver.fresh_gate(GateType::And, {d, nreset});
+    }
+    weaver.mark_read(d);
+    builder.dff(q[static_cast<std::size_t>(i)], d);
+  }
+
+  finish_outputs(builder, weaver, rng, p, /*allow_xor=*/true);
+  return builder.build();
+}
+
+}  // namespace
+
+net::Netlist generate_iscas_like(const BenchmarkProfile& profile) {
+  check(profile.style != CircuitStyle::Exact,
+        "circuit '" + profile.name + "' is shipped exactly, not generated");
+  net::Netlist nl;
+  switch (profile.style) {
+    case CircuitStyle::CounterChain:
+      nl = generate_counter_chain(profile);
+      break;
+    case CircuitStyle::Fsm:
+      nl = generate_fsm(profile);
+      break;
+    case CircuitStyle::Arithmetic:
+    default:
+      nl = generate_arithmetic(profile);
+      break;
+  }
+  net::validate_or_throw(nl);
+  return nl;
+}
+
+}  // namespace gdf::circuits

@@ -1,0 +1,31 @@
+// Deterministic synthetic ISCAS'89-like circuit generator.
+//
+// The original ISCAS'89 netlist files are not available offline, so the
+// Table 3 circuits (other than s27) are substituted by generated circuits
+// matched to each benchmark's published PI/PO/FF/gate profile and to its
+// structural family:
+//
+//  * CounterChain — a loadable/clearable ripple-enable counter with a
+//    product-term carry chain, modelled on the s208/s420/s838 fractional
+//    multipliers. High-order bits need exponentially long excitation
+//    sequences, reproducing the huge untestable/aborted counts the paper
+//    reports for s838.
+//  * Fsm — a dense controller: random product terms over {state, inputs}
+//    feed the next-state and output decode logic (s298, s386).
+//  * Arithmetic — a layered reconvergent datapath cloud with register taps
+//    (s344/s349/s641/s713/s1196/s1238).
+//
+// Generation is fully deterministic in the profile's seed.
+#pragma once
+
+#include "circuits/profiles.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gdf::circuits {
+
+/// Generates a netlist matching the profile's interface counts exactly
+/// (PI/PO/FF) and its gate count approximately (within a few gates).
+/// Throws gdf::Error for profiles with style Exact.
+net::Netlist generate_iscas_like(const BenchmarkProfile& profile);
+
+}  // namespace gdf::circuits

@@ -1,0 +1,36 @@
+#include "circuits/profiles.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::circuits {
+
+const std::vector<BenchmarkProfile>& table3_profiles() {
+  // Seeds are arbitrary but frozen: changing them changes every measured
+  // number in EXPERIMENTS.md.
+  static const std::vector<BenchmarkProfile> profiles = {
+      {"s27", 4, 1, 3, 10, CircuitStyle::Exact, 27},
+      {"s208", 10, 1, 8, 96, CircuitStyle::CounterChain, 208},
+      {"s298", 3, 6, 14, 119, CircuitStyle::Fsm, 298},
+      {"s344", 9, 11, 15, 160, CircuitStyle::Arithmetic, 344},
+      {"s349", 9, 11, 15, 161, CircuitStyle::Arithmetic, 349},
+      {"s386", 7, 7, 6, 159, CircuitStyle::Fsm, 386},
+      {"s420", 18, 1, 16, 196, CircuitStyle::CounterChain, 420},
+      {"s641", 35, 24, 19, 379, CircuitStyle::Arithmetic, 641},
+      {"s713", 35, 23, 19, 393, CircuitStyle::Arithmetic, 713},
+      {"s838", 34, 1, 32, 390, CircuitStyle::CounterChain, 838},
+      {"s1196", 14, 14, 18, 529, CircuitStyle::Arithmetic, 1196},
+      {"s1238", 14, 14, 18, 508, CircuitStyle::Arithmetic, 1238},
+  };
+  return profiles;
+}
+
+const BenchmarkProfile& profile_for(const std::string& name) {
+  for (const BenchmarkProfile& p : table3_profiles()) {
+    if (p.name == name) {
+      return p;
+    }
+  }
+  throw Error("no benchmark profile for circuit '" + name + "'");
+}
+
+}  // namespace gdf::circuits

@@ -1,0 +1,11 @@
+#include "core/delay_atpg.hpp"
+
+namespace gdf::core {
+
+FogbusterResult run_delay_atpg(const net::Netlist& circuit,
+                               const AtpgOptions& options) {
+  Fogbuster flow(circuit, options);
+  return flow.run();
+}
+
+}  // namespace gdf::core

@@ -1,0 +1,25 @@
+// Public entry point of the library: robust gate delay fault test
+// generation for non-scan synchronous sequential circuits (van Brakel,
+// Gläser, Kerkhoff, Vierhaus — DATE 1995).
+//
+// Quick use:
+//   net::Netlist circuit = circuits::load_circuit("s27");
+//   core::FogbusterResult r = core::run_delay_atpg(circuit);
+//   std::cout << core::format_table3_row(
+//       core::make_table3_row(circuit.name(), r));
+#pragma once
+
+#include "core/fogbuster.hpp"   // IWYU pragma: export
+#include "core/options.hpp"     // IWYU pragma: export
+#include "core/report.hpp"      // IWYU pragma: export
+#include "core/test_sequence.hpp"  // IWYU pragma: export
+#include "core/verify.hpp"      // IWYU pragma: export
+
+namespace gdf::core {
+
+/// Runs the complete flow (fault enumeration, generation per fault with
+/// the paper's abort limits, fault dropping) on `circuit`.
+FogbusterResult run_delay_atpg(const net::Netlist& circuit,
+                               const AtpgOptions& options = {});
+
+}  // namespace gdf::core

@@ -1,0 +1,393 @@
+#include "core/fogbuster.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "base/timer.hpp"
+#include "core/verify.hpp"
+#include "fausim/fausim.hpp"
+#include "netlist/fanout.hpp"
+#include "semilet/propagate.hpp"
+#include "semilet/synchronize.hpp"
+#include "tdgen/local_test.hpp"
+#include "tdgen/tdgen.hpp"
+#include "tdsim/tdsim.hpp"
+
+namespace gdf::core {
+
+using sim::Lv;
+using tdgen::DelayFault;
+using tdgen::LocalTest;
+using tdgen::PpoKind;
+
+namespace {
+
+Lv lv_from_bit(int bit) {
+  if (bit == 0) {
+    return Lv::Zero;
+  }
+  if (bit == 1) {
+    return Lv::One;
+  }
+  return Lv::X;
+}
+
+sim::InputVec lv_vector(const std::vector<int>& bits) {
+  sim::InputVec out;
+  out.reserve(bits.size());
+  for (const int b : bits) {
+    out.push_back(lv_from_bit(b));
+  }
+  return out;
+}
+
+int lv_bit(Lv v) {
+  if (v == Lv::Zero) {
+    return 0;
+  }
+  if (v == Lv::One) {
+    return 1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int FogbusterResult::count(FaultStatus s) const {
+  return static_cast<int>(std::count(status.begin(), status.end(), s));
+}
+
+namespace {
+
+/// Twin good/faulty replay of the propagation frames with only the given
+/// state bits defined: true when a PO still definitely differs, i.e. the
+/// propagation does not rely on any other (Known) boundary bit. Used to
+/// keep the TDgen re-entry pins minimal.
+bool propagation_works_without_known(
+    const sim::SeqSimulator& simulator, const sim::StateVec& boundary,
+    const std::vector<std::pair<std::size_t, Lv>>& requirements,
+    const std::vector<sim::InputVec>& frames) {
+  const net::Netlist& nl = simulator.netlist();
+  sim::StateVec good(boundary.size(), Lv::X);
+  sim::StateVec faulty(boundary.size(), Lv::X);
+  for (std::size_t k = 0; k < boundary.size(); ++k) {
+    if (boundary[k] == Lv::D) {
+      good[k] = Lv::One;
+      faulty[k] = Lv::Zero;
+    } else if (boundary[k] == Lv::Dbar) {
+      good[k] = Lv::Zero;
+      faulty[k] = Lv::One;
+    }
+  }
+  for (const auto& [ff, v] : requirements) {
+    good[ff] = v;
+    faulty[ff] = v;
+  }
+  std::vector<Lv> lg, lf;
+  for (const sim::InputVec& pis : frames) {
+    simulator.eval_frame(pis, good, lg);
+    simulator.eval_frame(pis, faulty, lf);
+    for (const net::GateId po : nl.outputs()) {
+      if (sim::is_binary(lg[po]) && sim::is_binary(lf[po]) &&
+          lg[po] != lf[po]) {
+        return true;
+      }
+    }
+    good = simulator.next_state(lg);
+    faulty = simulator.next_state(lf);
+  }
+  return false;
+}
+
+}  // namespace
+
+Fogbuster::Fogbuster(const net::Netlist& circuit, AtpgOptions options)
+    : nl_(options.expand_branches ? net::expand_fanout_branches(circuit)
+                                  : circuit),
+      options_(options),
+      model_(nl_),
+      algebra_(&alg::algebra_for(options.mode)) {}
+
+bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
+                             const std::vector<sim::InputVec>& prop_frames,
+                             const std::vector<std::size_t>& needed,
+                             semilet::Budget& budget, TestSequence* out,
+                             StageStats* stages) {
+  ++stages->sync_attempts;
+  const std::vector<int> s0 = tdgen::required_initial_state(local);
+  std::vector<std::pair<std::size_t, Lv>> requirements;
+  for (std::size_t k = 0; k < s0.size(); ++k) {
+    if (s0[k] >= 0) {
+      requirements.emplace_back(k, lv_from_bit(s0[k]));
+    }
+  }
+  semilet::Synchronizer synchronizer(nl_, budget);
+  semilet::SyncResult sync;
+  const semilet::SeqStatus status =
+      synchronizer.synchronize(std::move(requirements), &sync);
+  if (status != semilet::SeqStatus::Success) {
+    ++stages->sync_failures;
+    return false;
+  }
+
+  TestSequence sequence;
+  sequence.target = fault;
+  sequence.init_frames = std::move(sync.frames);
+  sequence.v1 = lv_vector(tdgen::initial_frame_pis(local));
+  sequence.v2 = lv_vector(tdgen::test_frame_pis(local));
+  sequence.prop_frames = prop_frames;
+  sequence.required_s0 = s0;
+  sequence.boundary.reserve(local.ppo_sets.size());
+  for (const alg::VSet s : local.ppo_sets) {
+    sequence.boundary.push_back(tdgen::classify_ppo(s));
+  }
+  sequence.needed_ppos = needed;
+  sequence.observed_at_po = local.observed_at_po;
+
+  const VerifyReport report =
+      verify_sequence(model_, *algebra_, sequence);
+  if (!report.ok) {
+    ++stages->verify_rejections;
+    return false;
+  }
+  if (out != nullptr) {
+    *out = std::move(sequence);
+  }
+  return true;
+}
+
+FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
+                                          TestSequence* out,
+                                          StageStats* stages) {
+  const Stopwatch watch;
+  const auto out_of_time = [&] {
+    return options_.per_fault_seconds > 0.0 &&
+           watch.seconds() > options_.per_fault_seconds;
+  };
+  const auto abort_time = [&] {
+    ++stages->aborted_time;
+    return FaultStatus::Aborted;
+  };
+  const auto abort_local = [&] {
+    ++stages->aborted_local;
+    return FaultStatus::Aborted;
+  };
+  const auto abort_sequential = [&] {
+    ++stages->aborted_sequential;
+    return FaultStatus::Aborted;
+  };
+
+  semilet::Budget budget(options_.sequential);
+  tdgen::TdgenSearch local_search(model_, *algebra_, fault, options_.local);
+  LocalTest local;
+
+  for (;;) {
+    if (out_of_time()) {
+      return abort_time();
+    }
+    switch (local_search.next(&local)) {
+      case tdgen::TdgenStatus::Untestable:
+        return FaultStatus::Untestable;
+      case tdgen::TdgenStatus::Aborted:
+        return abort_local();
+      case tdgen::TdgenStatus::TestFound:
+        break;
+    }
+    ++stages->local_solutions;
+
+    if (local.observed_at_po) {
+      // Fault visible at a PO of the fast frame: no propagation phase.
+      ++stages->po_observed;
+      if (try_finalize(fault, local, {}, {}, budget, out, stages)) {
+        return FaultStatus::Tested;
+      }
+      if (budget.exhausted()) {
+        return abort_sequential();
+      }
+      continue;
+    }
+    ++stages->ppo_observed;
+
+    // Boundary after the fast frame: the handoff of paper §6 — steady
+    // clean values are known, carriers are the fault effect, everything
+    // else is fixed-but-unknown (assignable only via TDgen re-entry).
+    const std::size_t n_ff = nl_.dffs().size();
+    sim::StateVec boundary(n_ff, Lv::X);
+    std::vector<bool> assignable(n_ff, false);
+    std::vector<std::size_t> needed;
+    for (std::size_t k = 0; k < n_ff; ++k) {
+      switch (tdgen::classify_ppo(local.ppo_sets[k])) {
+        case PpoKind::Known0:
+          boundary[k] = Lv::Zero;
+          needed.push_back(k);
+          break;
+        case PpoKind::Known1:
+          boundary[k] = Lv::One;
+          needed.push_back(k);
+          break;
+        case PpoKind::FaultD:
+          boundary[k] = Lv::D;
+          break;
+        case PpoKind::FaultDbar:
+          boundary[k] = Lv::Dbar;
+          break;
+        case PpoKind::Unknown:
+          assignable[k] = true;
+          break;
+      }
+    }
+
+    semilet::Propagator propagator(nl_, budget);
+    propagator.start(boundary, assignable);
+    semilet::PropagationOutcome outcome;
+    for (;;) {
+      if (out_of_time()) {
+        return abort_time();
+      }
+      ++stages->prop_attempts;
+      const semilet::SeqStatus pstatus = propagator.next(&outcome);
+      if (pstatus == semilet::SeqStatus::Aborted) {
+        return abort_sequential();
+      }
+      if (pstatus == semilet::SeqStatus::Exhausted) {
+        ++stages->prop_failures;
+        break;  // enumerate the next local solution
+      }
+
+      // Propagation justification at the fast-frame boundary: TDgen
+      // re-entry with every relied-on PPO pinned. Pinning is kept minimal:
+      // if a twin replay shows the propagation works from the fault effect
+      // and the required bits alone, the Known bits are not pinned (and
+      // not part of the invalidation set either).
+      const LocalTest* effective = &local;
+      LocalTest reentered;
+      std::vector<std::size_t> relied = needed;
+      if (!outcome.boundary_requirements.empty()) {
+        ++stages->reentries;
+        const sim::SeqSimulator twin_sim(nl_);
+        const bool known_needed = !propagation_works_without_known(
+            twin_sim, boundary, outcome.boundary_requirements,
+            outcome.frames);
+        if (!known_needed) {
+          relied.clear();
+        }
+        tdgen::TdgenSearch reentry(model_, *algebra_, fault,
+                                   options_.local);
+        for (std::size_t k = 0; k < n_ff; ++k) {
+          switch (tdgen::classify_ppo(local.ppo_sets[k])) {
+            case PpoKind::Known0:
+              if (known_needed) {
+                reentry.pin_ppo(k, alg::vset_of(alg::V8::Zero));
+              }
+              break;
+            case PpoKind::Known1:
+              if (known_needed) {
+                reentry.pin_ppo(k, alg::vset_of(alg::V8::One));
+              }
+              break;
+            case PpoKind::FaultD:
+              reentry.pin_ppo(k, alg::vset_of(alg::V8::RiseC));
+              break;
+            case PpoKind::FaultDbar:
+              reentry.pin_ppo(k, alg::vset_of(alg::V8::FallC));
+              break;
+            case PpoKind::Unknown:
+              break;
+          }
+        }
+        for (const auto& [ff, v] : outcome.boundary_requirements) {
+          reentry.pin_ppo(ff, alg::vset_of(v == Lv::One ? alg::V8::One
+                                                        : alg::V8::Zero));
+          relied.push_back(ff);
+        }
+        switch (reentry.next(&reentered)) {
+          case tdgen::TdgenStatus::Aborted:
+            return abort_local();
+          case tdgen::TdgenStatus::Untestable:
+            ++stages->reentry_failures;
+            continue;  // next propagation candidate
+          case tdgen::TdgenStatus::TestFound:
+            effective = &reentered;
+            break;
+        }
+      }
+
+      if (try_finalize(fault, *effective, outcome.frames, relied, budget,
+                       out, stages)) {
+        return FaultStatus::Tested;
+      }
+      if (budget.exhausted()) {
+        return abort_sequential();
+      }
+    }
+    if (budget.exhausted()) {
+      return abort_sequential();
+    }
+  }
+}
+
+FogbusterResult Fogbuster::run() {
+  const Stopwatch watch;
+  FogbusterResult result;
+  result.faults = tdgen::enumerate_faults(nl_, options_.fault_sites);
+  result.status.assign(result.faults.size(), FaultStatus::Untested);
+
+  Rng fill_rng(options_.fill_seed);
+  fausim::Fausim fausim(nl_);
+  const tdsim::Tdsim tdsim(model_, *algebra_);
+
+  for (std::size_t i = 0; i < result.faults.size(); ++i) {
+    if (result.status[i] != FaultStatus::Untested) {
+      continue;
+    }
+    ++result.stages.targeted;
+    TestSequence sequence;
+    const FaultStatus status =
+        generate_for_fault(result.faults[i], &sequence, &result.stages);
+    result.status[i] = status;
+    if (status != FaultStatus::Tested) {
+      continue;
+    }
+    result.tests.push_back(sequence);
+    result.pattern_count += sequence.pattern_count();
+
+    if (!options_.fault_dropping) {
+      continue;
+    }
+    // Fault simulation (paper §5): random X fill, good-machine pass,
+    // PPO observability over the propagation frames, then the fast-frame
+    // delay fault simulation by critical path tracing.
+    const std::vector<sim::InputVec> frames = sequence.all_frames();
+    const fausim::Fausim::GoodTrace trace =
+        fausim.simulate_good(frames, fill_rng);
+    const std::size_t fast = sequence.fast_index();
+    tdsim::TdsimRequest request;
+    request.stimulus.pi_sets.reserve(nl_.inputs().size());
+    for (std::size_t p = 0; p < nl_.inputs().size(); ++p) {
+      request.stimulus.pi_sets.push_back(alg::vset_primary_from_frames(
+          lv_bit(trace.filled[fast - 1][p]), lv_bit(trace.filled[fast][p])));
+    }
+    request.stimulus.ppi_sets.reserve(nl_.dffs().size());
+    for (std::size_t k = 0; k < nl_.dffs().size(); ++k) {
+      request.stimulus.ppi_sets.push_back(alg::vset_primary_from_frames(
+          lv_bit(trace.states[fast - 1][k]), lv_bit(trace.states[fast][k])));
+    }
+    request.observable_ppo = fausim.ppo_observability(
+        trace.states[fast + 1],
+        std::span<const sim::InputVec>(trace.filled).subspan(fast + 1));
+    request.needed_ppos = sequence.needed_ppos;
+    const std::vector<bool> detected =
+        tdsim.detect_cpt(request, result.faults);
+    for (std::size_t j = 0; j < result.faults.size(); ++j) {
+      if (result.status[j] == FaultStatus::Untested && detected[j]) {
+        result.status[j] = FaultStatus::Tested;
+        ++result.stages.dropped;
+      }
+    }
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace gdf::core

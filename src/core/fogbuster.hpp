@@ -1,0 +1,103 @@
+// The extended FOGBUSTER algorithm (paper Figure 4): the complete flow
+// combining TDgen and SEMILET for robust gate delay fault test generation
+// in non-scan synchronous sequential circuits.
+//
+// Per fault:
+//   1. local test generation (TDgen, two frames, fault site to PO or PPO);
+//   2. if the effect sits at a PPO: forward propagation to a PO (SEMILET);
+//   3. propagation justification — reverse time, with requirements on the
+//      fast-frame boundary handed back to TDgen as pinned PPOs (re-entry);
+//   4. justification of the test frames and synchronization of the
+//      required initial state from power-up (SEMILET, reverse time);
+//   5. independent end-to-end verification; rejected candidates resume the
+//      search (backtracking between the steps makes the approach
+//      complete).
+// After each success the sequence is fault-simulated (FAUSIM + TDsim) and
+// every additionally detected fault is dropped from the target list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/model.hpp"
+#include "core/options.hpp"
+#include "core/test_sequence.hpp"
+#include "netlist/netlist.hpp"
+#include "semilet/options.hpp"
+#include "tdgen/fault.hpp"
+
+namespace gdf::core {
+
+enum class FaultStatus : std::uint8_t {
+  Untested,
+  Tested,
+  Untestable,
+  Aborted,
+};
+
+/// Outcome counters per flow stage (regenerates the Figure 4 view).
+struct StageStats {
+  long targeted = 0;           ///< faults the generator worked on
+  long local_solutions = 0;    ///< local tests produced by TDgen
+  long po_observed = 0;        ///< local solutions observing at a PO
+  long ppo_observed = 0;       ///< local solutions observing at a PPO only
+  long prop_attempts = 0;      ///< forward propagation candidates
+  long prop_failures = 0;      ///< propagation exhausted for a local test
+  long reentries = 0;          ///< TDgen re-entries with pinned PPOs
+  long reentry_failures = 0;
+  long sync_attempts = 0;
+  long sync_failures = 0;
+  long verify_rejections = 0;  ///< candidates rejected by end-to-end check
+  long dropped = 0;            ///< faults covered by fault simulation
+  long aborted_local = 0;      ///< gave up in the local (TDgen) search
+  long aborted_sequential = 0; ///< gave up in propagation/justification/sync
+  long aborted_time = 0;       ///< per-fault wall-clock cap hit
+};
+
+struct FogbusterResult {
+  std::vector<tdgen::DelayFault> faults;
+  std::vector<FaultStatus> status;   ///< parallel to `faults`
+  std::vector<TestSequence> tests;   ///< one per explicitly targeted success
+  std::size_t pattern_count = 0;     ///< paper's #pat column
+  double seconds = 0.0;              ///< paper's time column
+  StageStats stages;
+
+  int count(FaultStatus s) const;
+  int tested() const { return count(FaultStatus::Tested); }
+  int untestable() const { return count(FaultStatus::Untestable); }
+  int aborted() const { return count(FaultStatus::Aborted); }
+};
+
+class Fogbuster {
+ public:
+  /// Takes the raw circuit; fanout branches are expanded internally when
+  /// options.expand_branches is set.
+  Fogbuster(const net::Netlist& circuit, AtpgOptions options = {});
+
+  /// The netlist faults refer to (expanded).
+  const net::Netlist& working_netlist() const { return nl_; }
+  const alg::AtpgModel& model() const { return model_; }
+
+  /// Full run over the fault list with fault dropping.
+  FogbusterResult run();
+
+  /// Single-fault generation (no dropping); exposed for tests and for the
+  /// flow-stage bench.
+  FaultStatus generate_for_fault(const tdgen::DelayFault& fault,
+                                 TestSequence* out, StageStats* stages);
+
+ private:
+  bool try_finalize(const tdgen::DelayFault& fault,
+                    const tdgen::LocalTest& local,
+                    const std::vector<sim::InputVec>& prop_frames,
+                    const std::vector<std::size_t>& needed,
+                    semilet::Budget& budget, TestSequence* out,
+                    StageStats* stages);
+
+  net::Netlist nl_;
+  AtpgOptions options_;
+  alg::AtpgModel model_;
+  const alg::DelayAlgebra* algebra_;
+};
+
+}  // namespace gdf::core

@@ -1,0 +1,44 @@
+// Configuration of the combined TDgen + SEMILET flow.
+#pragma once
+
+#include <cstdint>
+
+#include "algebra/tables.hpp"
+#include "semilet/options.hpp"
+#include "tdgen/fault.hpp"
+#include "tdgen/tdgen.hpp"
+
+namespace gdf::core {
+
+struct AtpgOptions {
+  /// Robust (paper) or non-robust (§7 outlook / ablation) algebra.
+  alg::Mode mode = alg::Mode::Robust;
+
+  /// Local (two-frame) search limits; the paper aborts after 100 local
+  /// backtracks.
+  tdgen::TdgenOptions local;
+
+  /// Sequential limits shared by propagation, justification and
+  /// synchronization; the paper aborts after 100 sequential backtracks.
+  semilet::SemiletOptions sequential;
+
+  /// Which lines carry faults (paper: every gate output and every fanout
+  /// branch).
+  tdgen::FaultListOptions fault_sites;
+
+  /// Insert explicit fanout branches before fault enumeration.
+  bool expand_branches = true;
+
+  /// Fault-simulate after each successful generation and drop the
+  /// additionally detected faults (paper §5/§6).
+  bool fault_dropping = true;
+
+  /// Seed for the random X-fill performed before fault simulation.
+  std::uint64_t fill_seed = 1995;
+
+  /// Optional wall-clock cap per targeted fault in seconds (0 = none);
+  /// counts toward the aborted column when hit.
+  double per_fault_seconds = 0.0;
+};
+
+}  // namespace gdf::core

@@ -1,0 +1,30 @@
+// Rendering of benchmark results in the layout of the paper's Table 3 and
+// of the Figure 4 stage statistics.
+#pragma once
+
+#include <string>
+
+#include "core/fogbuster.hpp"
+
+namespace gdf::core {
+
+struct Table3Row {
+  std::string circuit;
+  int tested = 0;
+  int untestable = 0;
+  int aborted = 0;
+  std::size_t patterns = 0;
+  double seconds = 0.0;
+};
+
+Table3Row make_table3_row(const std::string& circuit,
+                          const FogbusterResult& result);
+
+/// "circuit   tested  untstbl aborted  #pat  time[s]"
+std::string table3_header();
+std::string format_table3_row(const Table3Row& row);
+
+/// Multi-line rendering of the per-stage outcome counters.
+std::string format_stage_stats(const StageStats& stages);
+
+}  // namespace gdf::core

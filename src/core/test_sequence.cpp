@@ -1,0 +1,21 @@
+#include "core/test_sequence.hpp"
+
+namespace gdf::core {
+
+std::vector<sim::InputVec> TestSequence::all_frames() const {
+  std::vector<sim::InputVec> frames;
+  frames.reserve(pattern_count());
+  frames.insert(frames.end(), init_frames.begin(), init_frames.end());
+  frames.push_back(v1);
+  frames.push_back(v2);
+  frames.insert(frames.end(), prop_frames.begin(), prop_frames.end());
+  return frames;
+}
+
+std::vector<ClockKind> TestSequence::clocks() const {
+  std::vector<ClockKind> kinds(pattern_count(), ClockKind::Slow);
+  kinds[fast_index()] = ClockKind::Fast;
+  return kinds;
+}
+
+}  // namespace gdf::core

@@ -1,0 +1,54 @@
+// A complete gate-delay-fault test for a non-scan circuit — the time frame
+// model of the paper's Figure 2: synchronizing frames and the initial
+// frame under the slow clock, one fast frame that exposes the fault, and
+// propagation frames under the slow clock that carry the captured fault
+// effect to a primary output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/logic.hpp"
+#include "sim/seq_sim.hpp"
+#include "tdgen/fault.hpp"
+#include "tdgen/local_test.hpp"
+
+namespace gdf::core {
+
+enum class ClockKind : std::uint8_t { Slow, Fast };
+
+struct TestSequence {
+  tdgen::DelayFault target;
+
+  std::vector<sim::InputVec> init_frames;  ///< synchronization, slow clock
+  sim::InputVec v1;                        ///< initial frame, slow clock
+  sim::InputVec v2;                        ///< test frame, fast clock
+  std::vector<sim::InputVec> prop_frames;  ///< propagation, slow clock
+
+  /// Required state entering v1 (-1 = don't care) — what the
+  /// synchronization established.
+  std::vector<int> required_s0;
+  /// Boundary classification of every PPO after the fast frame.
+  std::vector<tdgen::PpoKind> boundary;
+  /// Flip-flops whose boundary value the propagation phase relies on.
+  std::vector<std::size_t> needed_ppos;
+  /// True when the fault is observed directly at a PO of the fast frame.
+  bool observed_at_po = false;
+
+  /// Paper's pattern count: initialization + both local frames +
+  /// propagation.
+  std::size_t pattern_count() const {
+    return init_frames.size() + 2 + prop_frames.size();
+  }
+
+  /// All vectors in application order.
+  std::vector<sim::InputVec> all_frames() const;
+
+  /// Index of the fast-clock vector within all_frames().
+  std::size_t fast_index() const { return init_frames.size() + 1; }
+
+  /// Clock annotation per vector of all_frames().
+  std::vector<ClockKind> clocks() const;
+};
+
+}  // namespace gdf::core

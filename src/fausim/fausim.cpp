@@ -1,0 +1,111 @@
+#include "fausim/fausim.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::fausim {
+
+using sim::Lv;
+using sim::Word3;
+
+Fausim::Fausim(const net::Netlist& nl)
+    : nl_(&nl), scalar_(nl), parallel_(nl) {}
+
+Fausim::GoodTrace Fausim::simulate_good(std::span<const sim::InputVec> frames,
+                                        Rng& rng) const {
+  GoodTrace trace;
+  trace.filled.reserve(frames.size());
+  for (const sim::InputVec& pis : frames) {
+    sim::InputVec filled = pis;
+    for (Lv& v : filled) {
+      if (v == Lv::X) {
+        v = rng.next_bool() ? Lv::One : Lv::Zero;
+      }
+    }
+    trace.filled.push_back(std::move(filled));
+  }
+  sim::StateVec state = scalar_.unknown_state();
+  trace.states.push_back(state);
+  std::vector<Lv> lines;
+  for (const sim::InputVec& pis : trace.filled) {
+    scalar_.eval_frame(pis, state, lines);
+    trace.lines.push_back(lines);
+    state = scalar_.next_state(lines);
+    trace.states.push_back(state);
+  }
+  return trace;
+}
+
+std::vector<bool> Fausim::ppo_observability(
+    const sim::StateVec& state_after_fast,
+    std::span<const sim::InputVec> propagation_frames) const {
+  const std::size_t n_ff = nl_->dffs().size();
+  GDF_ASSERT(state_after_fast.size() == n_ff, "state size mismatch");
+  std::vector<bool> observable(n_ff, false);
+
+  // Lane 0 is the good machine; lanes 1..k flip one definite state bit
+  // each. 63 faulty machines per pass.
+  std::size_t begin = 0;
+  while (begin < n_ff) {
+    std::vector<std::size_t> lane_ff;  // flip-flop index per faulty lane
+    std::size_t end = begin;
+    while (end < n_ff && lane_ff.size() < 63) {
+      if (sim::is_binary(state_after_fast[end])) {
+        lane_ff.push_back(end);
+      }
+      ++end;
+    }
+    if (lane_ff.empty()) {
+      begin = end;
+      continue;
+    }
+    const std::uint64_t all_lanes =
+        lane_ff.size() + 1 >= 64
+            ? ~std::uint64_t{0}
+            : ((std::uint64_t{1} << (lane_ff.size() + 1)) - 1);
+
+    std::vector<Word3> state_words(n_ff);
+    for (std::size_t i = 0; i < n_ff; ++i) {
+      state_words[i] = sim::w3_const(state_after_fast[i], all_lanes);
+    }
+    for (std::size_t lane = 0; lane < lane_ff.size(); ++lane) {
+      const std::size_t ff = lane_ff[lane];
+      const std::uint64_t bit = std::uint64_t{1} << (lane + 1);
+      // Flip the captured value in this faulty machine.
+      const Lv good = state_after_fast[ff];
+      const Lv bad = good == Lv::One ? Lv::Zero : Lv::One;
+      state_words[ff].ones &= ~bit;
+      state_words[ff].zeros &= ~bit;
+      const Word3 w = sim::w3_const(bad, bit);
+      state_words[ff].ones |= w.ones;
+      state_words[ff].zeros |= w.zeros;
+    }
+
+    std::vector<Word3> pi_words(nl_->inputs().size());
+    std::vector<Word3> line_words;
+    for (const sim::InputVec& pis : propagation_frames) {
+      GDF_ASSERT(pis.size() == nl_->inputs().size(), "PI size mismatch");
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        pi_words[i] = sim::w3_const(pis[i], all_lanes);
+      }
+      parallel_.eval_frame(pi_words, state_words, line_words);
+      for (const net::GateId po : nl_->outputs()) {
+        const Word3 w = line_words[po];
+        const Lv good = sim::w3_lane(w, 0);
+        if (!sim::is_binary(good)) {
+          continue;
+        }
+        for (std::size_t lane = 0; lane < lane_ff.size(); ++lane) {
+          const Lv faulty = sim::w3_lane(w, static_cast<unsigned>(lane + 1));
+          if (sim::is_binary(faulty) && faulty != good) {
+            observable[lane_ff[lane]] = true;
+          }
+        }
+      }
+      state_words = parallel_.next_state(line_words);
+    }
+    begin = end;
+  }
+  return observable;
+}
+
+}  // namespace gdf::fausim

@@ -1,0 +1,61 @@
+// FAUSIM — the fault simulator integrated in SEMILET (paper §5, phases 1
+// and 2 of the three-phase fault simulation):
+//
+//  1. good-machine simulation of the complete generated sequence, with the
+//     X values left by test generation "set at random to 0 or 1";
+//  2. "stuck-at fault simulation" of the propagation phase: a D value is
+//     injected at each pseudo primary output that is not steady, and the
+//     propagation frames are simulated to find which PPOs are observable
+//     at a primary output. All injections run in one dual-rail parallel
+//     pass (one lane per flip-flop plus the good machine).
+//
+// Phase 3 (delay-fault critical path tracing inside the fast frame) lives
+// in TDsim.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "sim/parallel3.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace gdf::fausim {
+
+class Fausim {
+ public:
+  explicit Fausim(const net::Netlist& nl);
+
+  struct GoodTrace {
+    /// Input vectors with every X bit filled randomly (what the tester
+    /// would apply).
+    std::vector<sim::InputVec> filled;
+    /// states[k] = state entering frame k (states[0] is all-X power-up);
+    /// one more entry than frames (the final state).
+    std::vector<sim::StateVec> states;
+    /// Settled line values per frame.
+    std::vector<std::vector<sim::Lv>> lines;
+  };
+
+  /// Phase 1: good-machine simulation from power-up. Deterministic in the
+  /// caller's RNG.
+  GoodTrace simulate_good(std::span<const sim::InputVec> frames,
+                          Rng& rng) const;
+
+  /// Phase 2: per flip-flop, whether a good/faulty difference captured at
+  /// that flip-flop at the start of the propagation phase reaches a
+  /// primary output. Flip-flops whose good value is X cannot carry a
+  /// meaningful single-bit difference and report false.
+  std::vector<bool> ppo_observability(
+      const sim::StateVec& state_after_fast,
+      std::span<const sim::InputVec> propagation_frames) const;
+
+  const net::Netlist& netlist() const { return *nl_; }
+
+ private:
+  const net::Netlist* nl_;
+  sim::SeqSimulator scalar_;
+  sim::ParallelSim3 parallel_;
+};
+
+}  // namespace gdf::fausim

@@ -1,0 +1,119 @@
+#include "netlist/bench_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "base/string_util.hpp"
+#include "netlist/builder.hpp"
+
+namespace gdf::net {
+
+namespace {
+
+/// "INPUT(G0)" -> {"INPUT", "G0"}; returns false if not of that shape.
+bool parse_call(std::string_view line, std::string& keyword,
+                std::string& args) {
+  const std::size_t open = line.find('(');
+  const std::size_t close = line.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  keyword = std::string(trim(line.substr(0, open)));
+  args = std::string(trim(line.substr(open + 1, close - open - 1)));
+  return !keyword.empty();
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view text, std::string circuit_name) {
+  NetlistBuilder builder(std::move(circuit_name));
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    try {
+      const std::size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        std::string keyword, args;
+        check(parse_call(line, keyword, args),
+              "expected INPUT(...)/OUTPUT(...) or an assignment");
+        const std::string k = to_lower(keyword);
+        if (k == "input") {
+          builder.input(args);
+        } else if (k == "output") {
+          builder.output(args);
+        } else {
+          throw Error("unexpected keyword '" + keyword + "'");
+        }
+        continue;
+      }
+      const std::string target(trim(line.substr(0, eq)));
+      check(!target.empty(), "missing target net before '='");
+      std::string keyword, args;
+      check(parse_call(line.substr(eq + 1), keyword, args),
+            "expected TYPE(fanins...) after '='");
+      const GateType type = parse_gate_type(keyword);
+      std::vector<std::string> fanins;
+      if (!args.empty()) {
+        fanins = split(args, ',');
+      }
+      builder.gate(target, type, std::move(fanins));
+    } catch (const Error& e) {
+      throw Error("bench parse error at line " + std::to_string(line_no) +
+                  ": " + e.what());
+    }
+  }
+  return builder.build();
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), "cannot open bench file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return parse_bench(buffer.str(), name);
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream os;
+  os << "# " << nl.name() << "\n";
+  for (const GateId id : nl.inputs()) {
+    os << "INPUT(" << nl.gate(id).name << ")\n";
+  }
+  for (const GateId id : nl.outputs()) {
+    os << "OUTPUT(" << nl.gate(id).name << ")\n";
+  }
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::Input) {
+      continue;
+    }
+    os << g.name << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      if (i != 0) {
+        os << ", ";
+      }
+      os << nl.gate(g.fanin[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace gdf::net

@@ -1,0 +1,31 @@
+// Reader and writer for the ISCAS'89 .bench netlist format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G5 = DFF(G10)
+//   G8 = AND(G14, G6)
+//
+// Keywords are case-insensitive; BUFF and BUF are synonyms.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace gdf::net {
+
+/// Parses .bench text. `circuit_name` becomes Netlist::name().
+/// Throws gdf::Error with a line number on malformed input.
+Netlist parse_bench(std::string_view text, std::string circuit_name);
+
+/// Reads a .bench file from disk.
+Netlist read_bench_file(const std::string& path);
+
+/// Serializes in .bench syntax; parse_bench(write_bench(nl)) reproduces the
+/// netlist up to gate ordering.
+std::string write_bench(const Netlist& nl);
+
+}  // namespace gdf::net

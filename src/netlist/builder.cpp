@@ -1,0 +1,78 @@
+#include "netlist/builder.hpp"
+
+#include <unordered_map>
+
+#include "base/error.hpp"
+
+namespace gdf::net {
+
+NetlistBuilder::NetlistBuilder(std::string circuit_name)
+    : name_(std::move(circuit_name)) {}
+
+NetlistBuilder& NetlistBuilder::input(const std::string& name) {
+  pending_.push_back({GateType::Input, name, {}});
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::output(const std::string& name) {
+  output_names_.push_back(name);
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::gate(const std::string& name, GateType type,
+                                     std::vector<std::string> fanin_names) {
+  check(type != GateType::Input, "use input() to declare primary inputs");
+  pending_.push_back({type, name, std::move(fanin_names)});
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::dff(const std::string& q,
+                                    const std::string& d) {
+  return gate(q, GateType::Dff, {d});
+}
+
+Netlist NetlistBuilder::build() {
+  Netlist nl;
+  nl.name_ = name_;
+  nl.gates_.reserve(pending_.size());
+
+  std::unordered_map<std::string, GateId> ids;
+  for (const PendingGate& p : pending_) {
+    check(ids.emplace(p.name, static_cast<GateId>(nl.gates_.size())).second,
+          "net '" + p.name + "' defined twice");
+    Gate g;
+    g.type = p.type;
+    g.name = p.name;
+    nl.gates_.push_back(std::move(g));
+  }
+
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const PendingGate& p = pending_[i];
+    const int need = min_fanin(p.type);
+    const bool arity_ok =
+        is_foldable(p.type)
+            ? static_cast<int>(p.fanin_names.size()) >= 1
+            : static_cast<int>(p.fanin_names.size()) == need;
+    check(arity_ok, "gate '" + p.name + "' (" +
+                        std::string(gate_type_name(p.type)) + ") has " +
+                        std::to_string(p.fanin_names.size()) +
+                        " fanins, which is invalid");
+    for (const std::string& fn : p.fanin_names) {
+      const auto it = ids.find(fn);
+      check(it != ids.end(),
+            "gate '" + p.name + "' references undefined net '" + fn + "'");
+      nl.gates_[i].fanin.push_back(it->second);
+    }
+  }
+
+  for (const std::string& po : output_names_) {
+    const auto it = ids.find(po);
+    check(it != ids.end(), "primary output '" + po + "' is never defined");
+    nl.outputs_.push_back(it->second);
+  }
+
+  nl.rebuild_indices();
+  return nl;
+}
+
+}  // namespace gdf::net

@@ -1,0 +1,46 @@
+// Two-phase netlist construction: gates may reference fanin nets by name
+// before those nets are defined (the .bench format allows forward
+// references); build() resolves everything and validates basic shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gdf::net {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string circuit_name);
+
+  /// Declares a primary input net.
+  NetlistBuilder& input(const std::string& name);
+
+  /// Declares a net as a primary output (the net may be defined later).
+  NetlistBuilder& output(const std::string& name);
+
+  /// Adds a gate driving net `name` with the given fanin net names.
+  NetlistBuilder& gate(const std::string& name, GateType type,
+                       std::vector<std::string> fanin_names);
+
+  /// Convenience for DFF: q = DFF(d).
+  NetlistBuilder& dff(const std::string& q, const std::string& d);
+
+  /// Resolves names, checks arities and duplicate definitions, and produces
+  /// the immutable netlist. Throws gdf::Error on any inconsistency.
+  Netlist build();
+
+ private:
+  struct PendingGate {
+    GateType type;
+    std::string name;
+    std::vector<std::string> fanin_names;
+  };
+
+  std::string name_;
+  std::vector<PendingGate> pending_;
+  std::vector<std::string> output_names_;
+};
+
+}  // namespace gdf::net

@@ -1,0 +1,70 @@
+#include "netlist/fanout.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace gdf::net {
+
+std::size_t count_fanout_branches(const Netlist& in) {
+  std::size_t n = 0;
+  for (GateId id = 0; id < in.size(); ++id) {
+    const std::size_t readers = in.gate(id).fanout.size();
+    if (readers >= 2) {
+      n += readers;
+    }
+  }
+  return n;
+}
+
+Netlist expand_fanout_branches(const Netlist& in) {
+  Netlist out;
+  out.name_ = in.name_;
+  out.gates_.reserve(in.size() + count_fanout_branches(in));
+
+  // Copy original gates first so GateIds of originals are preserved.
+  for (GateId id = 0; id < in.size(); ++id) {
+    Gate g;
+    g.type = in.gate(id).type;
+    g.name = in.gate(id).name;
+    g.fanin = in.gate(id).fanin;  // still original ids; rewired below
+    g.is_branch = false;
+    out.gates_.push_back(std::move(g));
+  }
+
+  // For each multi-reader net, create branch buffers and rewire each reader
+  // pin to its dedicated branch. Reader order must be deterministic: walk
+  // gates in id order and pins in pin order rather than using the
+  // unordered fanout lists.
+  std::vector<int> reader_pins(in.size(), 0);
+  for (GateId id = 0; id < in.size(); ++id) {
+    for (const GateId driver : in.gate(id).fanin) {
+      reader_pins[driver]++;
+    }
+  }
+
+  std::vector<int> branch_counter(in.size(), 0);
+  for (GateId reader = 0; reader < in.size(); ++reader) {
+    Gate& g = out.gates_[reader];
+    for (GateId& driver : g.fanin) {
+      if (reader_pins[driver] < 2) {
+        continue;
+      }
+      Gate branch;
+      branch.type = GateType::Buf;
+      branch.name = in.gate(driver).name + "$b" +
+                    std::to_string(branch_counter[driver]++);
+      branch.fanin = {driver};
+      branch.is_branch = true;
+      const GateId branch_id = static_cast<GateId>(out.gates_.size());
+      out.gates_.push_back(std::move(branch));
+      driver = branch_id;
+    }
+  }
+
+  out.outputs_ = in.outputs_;  // POs stay on the stems
+  out.rebuild_indices();
+  return out;
+}
+
+}  // namespace gdf::net

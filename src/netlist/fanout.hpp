@@ -1,0 +1,24 @@
+// Explicit fanout-branch expansion.
+//
+// The paper's fault model places a slow-to-rise and a slow-to-fall fault on
+// "each gate output and each fan out branch". To make every fault site a
+// plain line, each multi-fanout net is split: the original gate keeps the
+// stem, and one Buf gate per reader (marked is_branch) carries the branch.
+// Faults on the stem and on each branch are then all "gate output" faults.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace gdf::net {
+
+/// Returns a netlist in which every net with two or more readers drives
+/// dedicated branch buffers named "<stem>$b0", "<stem>$b1", ... in reader
+/// order. Primary-output nets keep the stem as the observable line (the PO
+/// is observed at the stem, not via a branch). Nets with a single reader
+/// are left untouched.
+Netlist expand_fanout_branches(const Netlist& in);
+
+/// Number of branch buffers that expansion would insert.
+std::size_t count_fanout_branches(const Netlist& in);
+
+}  // namespace gdf::net

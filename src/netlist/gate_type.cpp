@@ -1,0 +1,87 @@
+#include "netlist/gate_type.hpp"
+
+#include "base/error.hpp"
+#include "base/string_util.hpp"
+
+namespace gdf::net {
+
+std::string_view gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::Input:
+      return "INPUT";
+    case GateType::Dff:
+      return "DFF";
+    case GateType::Buf:
+      return "BUF";
+    case GateType::Not:
+      return "NOT";
+    case GateType::And:
+      return "AND";
+    case GateType::Nand:
+      return "NAND";
+    case GateType::Or:
+      return "OR";
+    case GateType::Nor:
+      return "NOR";
+    case GateType::Xor:
+      return "XOR";
+    case GateType::Xnor:
+      return "XNOR";
+  }
+  return "?";
+}
+
+GateType parse_gate_type(std::string_view keyword) {
+  const std::string k = to_lower(keyword);
+  if (k == "dff") return GateType::Dff;
+  if (k == "buf" || k == "buff") return GateType::Buf;
+  if (k == "not" || k == "inv") return GateType::Not;
+  if (k == "and") return GateType::And;
+  if (k == "nand") return GateType::Nand;
+  if (k == "or") return GateType::Or;
+  if (k == "nor") return GateType::Nor;
+  if (k == "xor") return GateType::Xor;
+  if (k == "xnor") return GateType::Xnor;
+  throw Error("unknown gate type keyword: '" + std::string(keyword) + "'");
+}
+
+bool is_inverting(GateType type) {
+  switch (type) {
+    case GateType::Not:
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int min_fanin(GateType type) {
+  switch (type) {
+    case GateType::Input:
+      return 0;
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+bool is_foldable(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gdf::net

@@ -1,0 +1,48 @@
+// Gate types of the ISCAS'89 netlist vocabulary.
+//
+// A gate is identified with its output line: "the output of gate g" and
+// "line g" are used interchangeably throughout the code base, matching the
+// fault-site terminology of the paper (every gate output and every fanout
+// branch is a fault site).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gdf::net {
+
+enum class GateType : std::uint8_t {
+  Input,  ///< primary input; no fanin
+  Dff,    ///< D flip-flop; output is a pseudo primary input (PPI), its
+          ///< fanin line is the matching pseudo primary output (PPO)
+  Buf,    ///< buffer; also used for explicit fanout branches
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+};
+
+/// Human-readable name as used in .bench files (e.g. "NAND").
+std::string_view gate_type_name(GateType type);
+
+/// Parses a .bench gate keyword (case-insensitive; accepts BUF and BUFF).
+/// Throws gdf::Error for unknown keywords.
+GateType parse_gate_type(std::string_view keyword);
+
+/// True for Not / Nand / Nor / Xnor: the gate's function ends in an
+/// inversion of the underlying And/Or/Xor/Buf body.
+bool is_inverting(GateType type);
+
+/// Number of fanins the type requires: 0 for Input, 1 for Dff/Buf/Not,
+/// 2+ (returned as 2) for the binary-foldable gates.
+int min_fanin(GateType type);
+
+/// True for And/Nand/Or/Nor/Xor/Xnor, whose n-input forms fold over an
+/// associative 2-input body.
+bool is_foldable(GateType type);
+
+}  // namespace gdf::net

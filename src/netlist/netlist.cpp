@@ -1,0 +1,59 @@
+#include "netlist/netlist.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::net {
+
+GateId Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+bool Netlist::feeds_dff(GateId id) const {
+  for (const GateId reader : gates_[id].fanout) {
+    if (gates_[reader].type == GateType::Dff) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.type != GateType::Input && g.type != GateType::Dff) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Netlist::rebuild_indices() {
+  by_name_.clear();
+  inputs_.clear();
+  dffs_.clear();
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    Gate& g = gates_[id];
+    g.fanout.clear();
+    const bool inserted = by_name_.emplace(g.name, id).second;
+    check(inserted, "duplicate gate name: '" + g.name + "'");
+    if (g.type == GateType::Input) {
+      inputs_.push_back(id);
+    } else if (g.type == GateType::Dff) {
+      dffs_.push_back(id);
+    }
+  }
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    for (const GateId driver : gates_[id].fanin) {
+      GDF_ASSERT(driver < gates_.size(), "fanin id out of range");
+      gates_[driver].fanout.push_back(id);
+    }
+  }
+  po_mask_.assign(gates_.size(), false);
+  for (const GateId id : outputs_) {
+    GDF_ASSERT(id < gates_.size(), "PO id out of range");
+    po_mask_[id] = true;
+  }
+}
+
+}  // namespace gdf::net

@@ -1,0 +1,80 @@
+// Gate-level netlist of a synchronous sequential circuit — the finite state
+// machine model of the paper's Figure 1: a combinational block whose sources
+// are primary inputs (PIs) and flip-flop outputs (pseudo primary inputs,
+// PPIs), and whose sinks are primary outputs (POs) and flip-flop inputs
+// (pseudo primary outputs, PPOs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate_type.hpp"
+
+namespace gdf::net {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+struct Gate {
+  GateType type = GateType::Buf;
+  std::string name;             ///< name of the gate's output net
+  std::vector<GateId> fanin;    ///< driver gates, in pin order
+  std::vector<GateId> fanout;   ///< reader gates (derived, unordered)
+  bool is_branch = false;       ///< inserted by fanout expansion
+};
+
+class NetlistBuilder;
+
+/// Immutable after construction (via NetlistBuilder or the fanout-expansion
+/// transform). GateIds are dense indices into gate storage.
+class Netlist {
+ public:
+  const std::string& name() const { return name_; }
+
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+
+  std::span<const GateId> inputs() const { return inputs_; }
+  std::span<const GateId> outputs() const { return outputs_; }
+  std::span<const GateId> dffs() const { return dffs_; }
+
+  /// Id of the gate whose output net has this name; kNoGate if absent.
+  GateId find(std::string_view name) const;
+
+  /// True if the gate's output net is declared a primary output.
+  bool is_po(GateId id) const { return po_mask_[id]; }
+
+  /// True if the gate drives at least one flip-flop (its output is read by a
+  /// DFF data pin, i.e. the gate owns a pseudo primary output).
+  bool feeds_dff(GateId id) const;
+
+  /// True if the gate's value is observable at the combinational boundary:
+  /// it is a PO or it feeds a DFF.
+  bool is_observation_point(GateId id) const {
+    return is_po(id) || feeds_dff(id);
+  }
+
+  /// Number of gates excluding Input pseudo-gates and DFFs — the "gate
+  /// count" convention of the ISCAS'89 benchmark documentation.
+  std::size_t logic_gate_count() const;
+
+ private:
+  friend class NetlistBuilder;
+  friend Netlist expand_fanout_branches(const Netlist& in);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<bool> po_mask_;
+  std::unordered_map<std::string, GateId> by_name_;
+
+  void rebuild_indices();
+};
+
+}  // namespace gdf::net

@@ -1,0 +1,49 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/levelize.hpp"
+
+namespace gdf::net {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.name = nl.name();
+  s.primary_inputs = nl.inputs().size();
+  s.primary_outputs = nl.outputs().size();
+  s.flip_flops = nl.dffs().size();
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type != GateType::Input && g.type != GateType::Dff) {
+      ++s.logic_gates;
+    }
+    if (g.type == GateType::Not) {
+      ++s.inverters;
+    }
+    if (g.is_branch) {
+      ++s.branch_buffers;
+    }
+    if (g.fanout.size() >= 2) {
+      ++s.fanout_stems;
+    }
+    s.max_fanin = std::max(s.max_fanin, g.fanin.size());
+    s.max_fanout = std::max(s.max_fanout, g.fanout.size());
+  }
+  s.depth = levelize(nl).depth;
+  return s;
+}
+
+std::string format_stats(const NetlistStats& s) {
+  std::ostringstream os;
+  os << s.name << ": PI=" << s.primary_inputs << " PO=" << s.primary_outputs
+     << " FF=" << s.flip_flops << " gates=" << s.logic_gates
+     << " (inv=" << s.inverters << ") depth=" << s.depth
+     << " stems=" << s.fanout_stems;
+  if (s.branch_buffers != 0) {
+    os << " branches=" << s.branch_buffers;
+  }
+  return os.str();
+}
+
+}  // namespace gdf::net

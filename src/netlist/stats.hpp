@@ -1,0 +1,32 @@
+// Per-circuit structural statistics used by the benchmark tables and the
+// Figure 1 (FSM decomposition) bench.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gdf::net {
+
+struct NetlistStats {
+  std::string name;
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t flip_flops = 0;
+  std::size_t logic_gates = 0;      ///< excludes Input pseudo-gates and DFFs
+  std::size_t inverters = 0;
+  std::size_t branch_buffers = 0;   ///< inserted by fanout expansion
+  std::size_t fanout_stems = 0;     ///< nets with >= 2 readers
+  int depth = 0;                    ///< combinational depth in gate levels
+  std::size_t max_fanin = 0;
+  std::size_t max_fanout = 0;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+/// One-line human readable summary.
+std::string format_stats(const NetlistStats& s);
+
+}  // namespace gdf::net

@@ -1,0 +1,66 @@
+#include "netlist/validate.hpp"
+
+#include <sstream>
+
+#include "base/error.hpp"
+#include "netlist/levelize.hpp"
+
+namespace gdf::net {
+
+ValidationReport validate(const Netlist& nl) {
+  ValidationReport report;
+  const auto error = [&report](const std::string& m) {
+    report.errors.push_back(m);
+  };
+  const auto warning = [&report](const std::string& m) {
+    report.warnings.push_back(m);
+  };
+
+  if (nl.inputs().empty()) {
+    error("circuit has no primary inputs");
+  }
+  if (nl.outputs().empty()) {
+    error("circuit has no primary outputs");
+  }
+
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    const int arity = static_cast<int>(g.fanin.size());
+    const bool ok = is_foldable(g.type) ? arity >= 1
+                                        : arity == min_fanin(g.type);
+    if (!ok) {
+      error("gate '" + g.name + "' has invalid fanin count " +
+            std::to_string(arity));
+    }
+    if (g.is_branch && g.fanout.size() != 1) {
+      error("branch '" + g.name + "' must have exactly one reader, has " +
+            std::to_string(g.fanout.size()));
+    }
+    if (g.fanout.empty() && !nl.is_po(id)) {
+      warning("gate '" + g.name + "' drives nothing and is not a PO");
+    }
+  }
+
+  try {
+    levelize(nl);
+  } catch (const Error& e) {
+    error(e.what());
+  }
+
+  return report;
+}
+
+void validate_or_throw(const Netlist& nl) {
+  const ValidationReport report = validate(nl);
+  if (report.ok()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "netlist '" << nl.name() << "' failed validation:";
+  for (const std::string& e : report.errors) {
+    os << "\n  - " << e;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace gdf::net

@@ -1,0 +1,26 @@
+// Structural sanity checks run by the circuit catalog and the test bench
+// before any ATPG touches a netlist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gdf::net {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Checks: arities match gate types, no combinational cycles, at least one
+/// PI and one PO, every DFF data pin driven, no dangling gates (warning),
+/// and that branch buffers have exactly one reader.
+ValidationReport validate(const Netlist& nl);
+
+/// Throws gdf::Error listing all problems if validation fails.
+void validate_or_throw(const Netlist& nl);
+
+}  // namespace gdf::net

@@ -1,0 +1,451 @@
+#include "semilet/frame_podem.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/error.hpp"
+
+namespace gdf::semilet {
+
+using net::GateId;
+using net::GateType;
+using sim::Lv;
+
+namespace {
+
+Lv negate_bit(Lv v) {
+  GDF_ASSERT(sim::is_binary(v), "negate_bit on non-binary value");
+  return v == Lv::Zero ? Lv::One : Lv::Zero;
+}
+
+/// Controlling value of the gate body (And/Or families); Xor has none.
+bool body_has_controlling(GateType type, Lv* controlling) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+      *controlling = Lv::Zero;
+      return true;
+    case GateType::Or:
+    case GateType::Nor:
+      *controlling = Lv::One;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FramePodem::FramePodem(const sim::SeqSimulator& sim, Budget& budget,
+                       PodemRequest request)
+    : sim_(&sim),
+      nl_(&sim.netlist()),
+      budget_(&budget),
+      request_(std::move(request)),
+      obs_distance_(net::distance_to_observation(*nl_)) {
+  GDF_ASSERT(request_.in_state.size() == nl_->dffs().size(),
+             "in_state size mismatch");
+  GDF_ASSERT(request_.assignable_ppi.size() == nl_->dffs().size(),
+             "assignable mask size mismatch");
+  pis_ = request_.base_pis.empty()
+             ? sim::InputVec(nl_->inputs().size(), Lv::X)
+             : request_.base_pis;
+  GDF_ASSERT(pis_.size() == nl_->inputs().size(), "base PI size mismatch");
+  state_ = request_.in_state;
+
+  // Lines that transitively depend on at least one primary input: the
+  // backtrace prefers these so it terminates at an assignable source.
+  pi_reachable_.assign(nl_->size(), false);
+  const net::Levelization lev = net::levelize(*nl_);
+  level_ = lev.level;
+  for (const GateId id : lev.order) {
+    const net::Gate& g = nl_->gate(id);
+    if (g.type == GateType::Input) {
+      pi_reachable_[id] = true;
+      continue;
+    }
+    if (g.type == GateType::Dff) {
+      continue;
+    }
+    for (const GateId driver : g.fanin) {
+      if (pi_reachable_[driver]) {
+        pi_reachable_[id] = true;
+        break;
+      }
+    }
+  }
+}
+
+void FramePodem::simulate() {
+  sim_->eval_frame(pis_, state_, lines_,
+                   request_.injection.active() ? &request_.injection
+                                               : nullptr);
+}
+
+bool FramePodem::any_fault_effect() const {
+  for (const Lv v : lines_) {
+    if (sim::is_fault_effect(v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FramePodem::success() const {
+  if (request_.mode == PodemMode::JustifyValues) {
+    for (const auto& [line, value] : request_.objectives) {
+      if (lines_[line] != value) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool po = false;
+  for (const GateId out : nl_->outputs()) {
+    if (sim::is_fault_effect(lines_[out])) {
+      po = true;
+      break;
+    }
+  }
+  if (po) {
+    return true;
+  }
+  if (request_.require_po) {
+    return false;
+  }
+  for (const GateId dff : nl_->dffs()) {
+    if (sim::is_fault_effect(lines_[nl_->gate(dff).fanin[0]])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FramePodem::hopeless() const {
+  if (request_.mode == PodemMode::JustifyValues) {
+    // An objective simulating to the opposite definite value is dead.
+    for (const auto& [line, value] : request_.objectives) {
+      const Lv now = lines_[line];
+      if (sim::is_binary(now) && now != value) {
+        return true;
+      }
+      if (sim::is_fault_effect(now)) {
+        return true;  // justification targets are good-machine values
+      }
+    }
+    return false;
+  }
+  // ObserveFault: X-path check — some D/D' line must reach an observation
+  // point through X-valued lines.
+  std::deque<GateId> work;
+  std::vector<bool> seen(nl_->size(), false);
+  for (GateId id = 0; id < nl_->size(); ++id) {
+    if (sim::is_fault_effect(lines_[id])) {
+      work.push_back(id);
+      seen[id] = true;
+    }
+  }
+  if (work.empty()) {
+    if (request_.activation_line != net::kNoGate &&
+        lines_[request_.activation_line] == Lv::X) {
+      return false;  // the fault could still be activated in this frame
+    }
+    return true;  // the fault effect died (or cannot appear) in this frame
+  }
+  while (!work.empty()) {
+    const GateId id = work.front();
+    work.pop_front();
+    if (nl_->is_po(id)) {
+      return false;
+    }
+    if (!request_.require_po && nl_->feeds_dff(id)) {
+      return false;
+    }
+    for (const GateId reader : nl_->gate(id).fanout) {
+      if (seen[reader] || nl_->gate(reader).type == GateType::Dff) {
+        continue;
+      }
+      const Lv v = lines_[reader];
+      if (v == Lv::X || sim::is_fault_effect(v)) {
+        seen[reader] = true;
+        work.push_back(reader);
+      }
+    }
+  }
+  return true;
+}
+
+bool FramePodem::choose_objective(GateId* line, Lv* value) const {
+  if (request_.mode == PodemMode::JustifyValues) {
+    for (const auto& [l, v] : request_.objectives) {
+      if (lines_[l] == Lv::X) {
+        *line = l;
+        *value = v;
+        return true;
+      }
+    }
+    return false;
+  }
+  // No fault effect yet: work on activation first (stuck-at use).
+  if (request_.activation_line != net::kNoGate && !any_fault_effect()) {
+    if (lines_[request_.activation_line] == Lv::X) {
+      *line = request_.activation_line;
+      *value = request_.activation_value;
+      return true;
+    }
+    return false;
+  }
+  // D-frontier: gate with X output and a fault effect on an input; pick the
+  // one closest to an observation point, then set one X input to the
+  // non-controlling (sensitizing) value.
+  GateId best = net::kNoGate;
+  for (GateId id = 0; id < nl_->size(); ++id) {
+    const net::Gate& g = nl_->gate(id);
+    if (g.type == GateType::Input || g.type == GateType::Dff) {
+      continue;
+    }
+    if (lines_[id] != Lv::X) {
+      continue;
+    }
+    bool has_effect = false;
+    for (const GateId driver : g.fanin) {
+      if (sim::is_fault_effect(lines_[driver])) {
+        has_effect = true;
+        break;
+      }
+    }
+    if (!has_effect) {
+      continue;
+    }
+    if (best == net::kNoGate || obs_distance_[id] < obs_distance_[best]) {
+      best = id;
+    }
+  }
+  if (best == net::kNoGate) {
+    return false;
+  }
+  const net::Gate& g = nl_->gate(best);
+  Lv noncontrolling = Lv::One;
+  Lv controlling;
+  if (body_has_controlling(g.type, &controlling)) {
+    noncontrolling = negate_bit(controlling);
+  }
+  for (const GateId driver : g.fanin) {
+    if (lines_[driver] == Lv::X) {
+      *line = driver;
+      // XOR bodies have no controlling value; any definite value
+      // sensitizes, so One/Zero are both fine — prefer the non-controlling
+      // convention for uniformity.
+      *value = noncontrolling;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FramePodem::backtrace(GateId line, Lv value, Decision* decision) const {
+  GDF_ASSERT(sim::is_binary(value), "backtrace value must be binary");
+  for (;;) {
+    const net::Gate& g = nl_->gate(line);
+    if (g.type == GateType::Input) {
+      for (std::size_t i = 0; i < nl_->inputs().size(); ++i) {
+        if (nl_->inputs()[i] == line) {
+          *decision = {false, i, value, false};
+          return true;
+        }
+      }
+      GDF_ASSERT(false, "input gate not in inputs list");
+    }
+    if (g.type == GateType::Dff) {
+      for (std::size_t i = 0; i < nl_->dffs().size(); ++i) {
+        if (nl_->dffs()[i] == line) {
+          if (!request_.assignable_ppi[i] || state_[i] != Lv::X) {
+            return false;  // fixed-but-unknown U value: not assignable
+          }
+          *decision = {true, i, value, false};
+          return true;
+        }
+      }
+      GDF_ASSERT(false, "dff gate not in dffs list");
+    }
+    const Lv body_value = net::is_inverting(g.type) ? negate_bit(value)
+                                                    : value;
+    // Choose the X input to chase; prefer inputs that can reach a primary
+    // input so the walk ends at an assignable source, and among those the
+    // shallowest one (a cheap controllability estimate — e.g. a global
+    // clear line beats re-justifying a whole carry chain).
+    GateId chosen = net::kNoGate;
+    for (const GateId driver : g.fanin) {
+      if (lines_[driver] != Lv::X) {
+        continue;
+      }
+      if (chosen == net::kNoGate) {
+        chosen = driver;
+        continue;
+      }
+      if (pi_reachable_[driver] != pi_reachable_[chosen]) {
+        if (pi_reachable_[driver]) {
+          chosen = driver;
+        }
+        continue;
+      }
+      if (level_[driver] < level_[chosen]) {
+        chosen = driver;
+      }
+    }
+    if (chosen == net::kNoGate) {
+      return false;  // definite already; the caller treats it as conflict
+    }
+    Lv next_value = body_value;
+    if (g.type == GateType::Xor || g.type == GateType::Xnor) {
+      // target = body_value XOR (definite part of the other inputs);
+      // unknown others are assumed 0 — heuristic, corrected by backtrack.
+      int parity = body_value == Lv::One ? 1 : 0;
+      for (const GateId driver : g.fanin) {
+        if (driver != chosen && lines_[driver] == Lv::One) {
+          parity ^= 1;
+        }
+      }
+      next_value = parity == 1 ? Lv::One : Lv::Zero;
+    } else {
+      Lv controlling;
+      if (body_has_controlling(g.type, &controlling)) {
+        // body 0 for AND: one controlling input suffices; body 1: all
+        // inputs non-controlling. Either way the chosen X input gets:
+        next_value = body_value == controlling ? controlling
+                                               : negate_bit(controlling);
+      }
+      // Buf/Not handled by body_value already (single input).
+    }
+    line = chosen;
+    value = next_value;
+  }
+}
+
+bool FramePodem::apply(const Decision& d) {
+  if (!budget_->note_decision()) {
+    aborted_ = true;
+    return false;
+  }
+  if (d.is_ppi) {
+    GDF_ASSERT(state_[d.index] == Lv::X, "PPI already assigned");
+    state_[d.index] = d.value;
+  } else {
+    GDF_ASSERT(pis_[d.index] == Lv::X, "PI already assigned");
+    pis_[d.index] = d.value;
+  }
+  stack_.push_back(d);
+  return true;
+}
+
+bool FramePodem::backtrack() {
+  if (!budget_->note_backtrack()) {
+    aborted_ = true;
+    return false;
+  }
+  while (!stack_.empty()) {
+    Decision& d = stack_.back();
+    if (!d.flipped) {
+      d.flipped = true;
+      d.value = negate_bit(d.value);
+      if (d.is_ppi) {
+        state_[d.index] = d.value;
+      } else {
+        pis_[d.index] = d.value;
+      }
+      return true;
+    }
+    if (d.is_ppi) {
+      state_[d.index] = Lv::X;
+    } else {
+      pis_[d.index] = Lv::X;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+void FramePodem::fill_solution(FrameSolution* out) const {
+  out->pis = pis_;
+  out->ppi_assignments.clear();
+  for (const Decision& d : stack_) {
+    if (d.is_ppi) {
+      out->ppi_assignments.emplace_back(d.index, d.value);
+    }
+  }
+  out->line_values = lines_;
+  out->po_hit = false;
+  out->ppo_hit = false;
+  for (const GateId po : nl_->outputs()) {
+    if (sim::is_fault_effect(lines_[po])) {
+      out->po_hit = true;
+    }
+  }
+  for (const GateId dff : nl_->dffs()) {
+    if (sim::is_fault_effect(lines_[nl_->gate(dff).fanin[0]])) {
+      out->ppo_hit = true;
+    }
+  }
+}
+
+PodemStatus FramePodem::next(FrameSolution* out) {
+  if (aborted_) {
+    return PodemStatus::Aborted;
+  }
+  // After a PPO-only solution the region may still contain a PO-hitting
+  // refinement (the D-frontier is not empty); keep deciding instead of
+  // backtracking so those are not skipped. Full PO hits and justification
+  // solutions have nothing left to refine.
+  bool need_progress = false;
+  if (started_) {
+    if (last_was_refinable_) {
+      need_progress = true;
+    } else if (!backtrack()) {
+      return aborted_ ? PodemStatus::Aborted : PodemStatus::Exhausted;
+    }
+  }
+  started_ = true;
+  for (;;) {
+    simulate();
+    const bool ok = success();
+    if (ok && !need_progress) {
+      if (out != nullptr) {
+        fill_solution(out);
+      }
+      last_was_refinable_ = request_.mode == PodemMode::ObserveFault &&
+                            request_.refine_toward_po && out != nullptr &&
+                            !out->po_hit;
+      return PodemStatus::Solution;
+    }
+    if (!ok && hopeless()) {
+      if (!backtrack()) {
+        return aborted_ ? PodemStatus::Aborted : PodemStatus::Exhausted;
+      }
+      need_progress = false;
+      continue;
+    }
+    GateId line;
+    Lv value;
+    if (!choose_objective(&line, &value)) {
+      if (!backtrack()) {
+        return aborted_ ? PodemStatus::Aborted : PodemStatus::Exhausted;
+      }
+      need_progress = false;
+      continue;
+    }
+    Decision d;
+    if (!backtrace(line, value, &d)) {
+      if (!backtrack()) {
+        return aborted_ ? PodemStatus::Aborted : PodemStatus::Exhausted;
+      }
+      need_progress = false;
+      continue;
+    }
+    if (!apply(d)) {
+      return PodemStatus::Aborted;
+    }
+    need_progress = false;
+  }
+}
+
+}  // namespace gdf::semilet

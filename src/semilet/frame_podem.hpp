@@ -1,0 +1,107 @@
+// Single-time-frame PODEM over the five-valued logic — the workhorse of
+// SEMILET. One instance searches one time frame for either
+//  * ObserveFault: an assignment making a fault effect (D/D') visible at a
+//    primary output (or, if allowed, at a pseudo primary output, which the
+//    caller then chases into the next frame), or
+//  * JustifyValues: an assignment producing required values at given lines
+//    (used by reverse-time propagation justification and synchronization).
+//
+// Decisions are made on this frame's unassigned primary inputs and — where
+// the caller permits — on unknown pseudo primary inputs; the latter are
+// reported back as requirements on the previous time frame, exactly the
+// paper's "values at PPIs [that] are not justified directly".
+//
+// The search is resumable: next() enumerates distinct solutions so outer
+// phases can reject one and ask for another (inter-phase backtracking).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "semilet/options.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace gdf::semilet {
+
+enum class PodemMode { ObserveFault, JustifyValues };
+
+struct PodemRequest {
+  PodemMode mode = PodemMode::ObserveFault;
+  /// State entering the frame; may contain D/D' (the fault effect) and X.
+  sim::StateVec in_state;
+  /// Which X bits of in_state the search may assign (unjustifiable U bits
+  /// and known bits must be false here).
+  std::vector<bool> assignable_ppi;
+  /// Pre-assigned PI values (empty means all X).
+  sim::InputVec base_pis;
+  /// JustifyValues: required line values (binary).
+  std::vector<std::pair<net::GateId, sim::Lv>> objectives;
+  /// ObserveFault: when true only a PO counts as success.
+  bool require_po = false;
+  /// ObserveFault: after a PPO-only solution, keep deciding toward a PO
+  /// before abandoning the region. Disable for advance-only searches.
+  bool refine_toward_po = true;
+  /// Static fault forced during this frame (stuck-at use).
+  sim::Injection injection;
+  /// ObserveFault with injection: while no fault effect exists yet, chase
+  /// this activation objective (site line driven to the non-stuck value).
+  net::GateId activation_line = net::kNoGate;
+  sim::Lv activation_value = sim::Lv::X;
+};
+
+struct FrameSolution {
+  sim::InputVec pis;                                        ///< 0/1/X per PI
+  std::vector<std::pair<std::size_t, sim::Lv>> ppi_assignments;
+  std::vector<sim::Lv> line_values;                         ///< settled frame
+  bool po_hit = false;
+  bool ppo_hit = false;
+};
+
+enum class PodemStatus { Solution, Exhausted, Aborted };
+
+class FramePodem {
+ public:
+  FramePodem(const sim::SeqSimulator& sim, Budget& budget,
+             PodemRequest request);
+
+  /// Produces the next distinct solution; Exhausted when the frame's
+  /// decision space is used up, Aborted when the shared budget ran out.
+  PodemStatus next(FrameSolution* out);
+
+ private:
+  struct Decision {
+    bool is_ppi = false;
+    std::size_t index = 0;
+    sim::Lv value = sim::Lv::X;
+    bool flipped = false;
+  };
+
+  void simulate();
+  bool any_fault_effect() const;
+  bool success() const;
+  bool hopeless() const;
+  bool choose_objective(net::GateId* line, sim::Lv* value) const;
+  bool backtrace(net::GateId line, sim::Lv value, Decision* decision) const;
+  bool apply(const Decision& d);
+  bool backtrack();
+  void fill_solution(FrameSolution* out) const;
+
+  const sim::SeqSimulator* sim_;
+  const net::Netlist* nl_;
+  Budget* budget_;
+  PodemRequest request_;
+  std::vector<int> obs_distance_;
+  std::vector<bool> pi_reachable_;  ///< line depends on some primary input
+  std::vector<int> level_;          ///< combinational depth per line
+
+  sim::InputVec pis_;
+  sim::StateVec state_;
+  std::vector<sim::Lv> lines_;
+  std::vector<Decision> stack_;
+  bool started_ = false;
+  bool aborted_ = false;
+  bool last_was_refinable_ = false;
+};
+
+}  // namespace gdf::semilet

@@ -1,0 +1,115 @@
+#include "semilet/stuckat.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::semilet {
+
+using sim::Lv;
+
+StuckAtAtpg::StuckAtAtpg(const net::Netlist& nl, SemiletOptions options)
+    : nl_(&nl), sim_(nl), options_(options) {}
+
+bool StuckAtAtpg::validate(const StuckAtFault& fault,
+                           const std::vector<sim::InputVec>& frames) const {
+  const sim::Injection injection{fault.line,
+                                 fault.stuck_at_one ? Lv::One : Lv::Zero};
+  sim::StateVec state = sim_.unknown_state();
+  std::vector<Lv> lines;
+  for (const sim::InputVec& pis : frames) {
+    sim_.eval_frame(pis, state, lines, &injection);
+    for (const net::GateId po : nl_->outputs()) {
+      if (sim::is_fault_effect(lines[po])) {
+        return true;
+      }
+    }
+    state = sim_.next_state(lines);
+  }
+  return false;
+}
+
+StuckAtStatus StuckAtAtpg::generate(const StuckAtFault& fault,
+                                    StuckAtTest* out) {
+  GDF_ASSERT(fault.line < nl_->size(), "fault line out of range");
+  Budget budget(options_);
+  const sim::Injection injection{fault.line,
+                                 fault.stuck_at_one ? Lv::One : Lv::Zero};
+
+  // Activation frame: power-up-unknown state, every X bit may become a
+  // synchronization requirement.
+  PodemRequest request;
+  request.mode = PodemMode::ObserveFault;
+  request.in_state = sim_.unknown_state();
+  request.assignable_ppi.assign(nl_->dffs().size(), true);
+  request.injection = injection;
+  request.activation_line = fault.line;
+  request.activation_value = fault.stuck_at_one ? Lv::Zero : Lv::One;
+  FramePodem activation(sim_, budget, std::move(request));
+
+  FrameSolution asol;
+  for (;;) {
+    const PodemStatus astatus = activation.next(&asol);
+    if (astatus == PodemStatus::Aborted) {
+      return StuckAtStatus::Aborted;
+    }
+    if (astatus == PodemStatus::Exhausted) {
+      return StuckAtStatus::Untestable;
+    }
+
+    // Synchronize the state bits the activation frame leaned on.
+    Synchronizer synchronizer(*nl_, budget);
+    SyncResult sync;
+    const SeqStatus sync_status =
+        synchronizer.synchronize(asol.ppi_assignments, &sync);
+    if (sync_status == SeqStatus::Aborted) {
+      return StuckAtStatus::Aborted;
+    }
+    if (sync_status == SeqStatus::Exhausted) {
+      continue;  // unsynchronizable activation: try another
+    }
+
+    if (asol.po_hit) {
+      std::vector<sim::InputVec> frames = sync.frames;
+      frames.push_back(asol.pis);
+      if (validate(fault, frames)) {
+        if (out != nullptr) {
+          out->frames = std::move(frames);
+        }
+        return StuckAtStatus::TestFound;
+      }
+      continue;  // initialization invalidated by the fault: next candidate
+    }
+
+    // Effect captured in the register only: chase it forward.
+    sim::StateVec boundary = sim_.next_state(asol.line_values);
+    std::vector<bool> assignable(boundary.size(), false);
+    // X bits of the captured state were produced by X logic in the
+    // activation frame and could be justified through it; to keep the
+    // facade simple they stay unassignable (documented pessimism).
+    Propagator propagator(*nl_, budget, injection);
+    propagator.start(std::move(boundary), std::move(assignable));
+    PropagationOutcome outcome;
+    for (;;) {
+      const SeqStatus pstatus = propagator.next(&outcome);
+      if (pstatus == SeqStatus::Aborted) {
+        return StuckAtStatus::Aborted;
+      }
+      if (pstatus == SeqStatus::Exhausted) {
+        break;  // try the next activation
+      }
+      GDF_ASSERT(outcome.boundary_requirements.empty(),
+                 "unassignable boundary produced requirements");
+      std::vector<sim::InputVec> frames = sync.frames;
+      frames.push_back(asol.pis);
+      frames.insert(frames.end(), outcome.frames.begin(),
+                    outcome.frames.end());
+      if (validate(fault, frames)) {
+        if (out != nullptr) {
+          out->frames = std::move(frames);
+        }
+        return StuckAtStatus::TestFound;
+      }
+    }
+  }
+}
+
+}  // namespace gdf::semilet

@@ -1,0 +1,54 @@
+// Standalone sequential stuck-at ATPG — SEMILET's native job ("a
+// sequential test pattern generator for several static fault models"),
+// exposed so the substrate is usable on its own.
+//
+// Flow per fault: a frame PODEM activates the fault (site driven to the
+// non-stuck value; the injected fault turns the divergence into D/D') and
+// either observes it at a PO directly or leaves it in the state register,
+// where the forward-time Propagator chases it; state requirements of the
+// activation frame are synchronized from the all-X power-up state. The
+// synchronizing prefix is computed on the good machine and the complete
+// sequence is then validated by faulty-machine replay — candidates whose
+// initialization the fault invalidates are rejected and the search
+// continues (this keeps results sound without a full multi-frame faulty
+// justification engine; see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "semilet/options.hpp"
+#include "semilet/propagate.hpp"
+#include "semilet/synchronize.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace gdf::semilet {
+
+struct StuckAtFault {
+  net::GateId line = net::kNoGate;
+  bool stuck_at_one = false;
+};
+
+struct StuckAtTest {
+  /// Complete PI sequence from power-up; the fault is detectable at a PO
+  /// in at least one frame (X PI bits may be applied arbitrarily).
+  std::vector<sim::InputVec> frames;
+};
+
+enum class StuckAtStatus { TestFound, Untestable, Aborted };
+
+class StuckAtAtpg {
+ public:
+  explicit StuckAtAtpg(const net::Netlist& nl, SemiletOptions options = {});
+
+  StuckAtStatus generate(const StuckAtFault& fault, StuckAtTest* out);
+
+ private:
+  bool validate(const StuckAtFault& fault,
+                const std::vector<sim::InputVec>& frames) const;
+
+  const net::Netlist* nl_;
+  sim::SeqSimulator sim_;
+  SemiletOptions options_;
+};
+
+}  // namespace gdf::semilet

@@ -1,0 +1,122 @@
+#include "sim/logic.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::sim {
+
+std::string_view lv_name(Lv v) {
+  switch (v) {
+    case Lv::Zero:
+      return "0";
+    case Lv::One:
+      return "1";
+    case Lv::X:
+      return "X";
+    case Lv::D:
+      return "D";
+    case Lv::Dbar:
+      return "D'";
+  }
+  return "?";
+}
+
+Lv good_value(Lv v) {
+  if (v == Lv::D) return Lv::One;
+  if (v == Lv::Dbar) return Lv::Zero;
+  return v;
+}
+
+Lv faulty_value(Lv v) {
+  if (v == Lv::D) return Lv::Zero;
+  if (v == Lv::Dbar) return Lv::One;
+  return v;
+}
+
+Lv combine(Lv good, Lv faulty) {
+  if (good == Lv::X || faulty == Lv::X) {
+    // If either machine is unknown the pair cannot be expressed exactly in
+    // five values; X is the sound over-approximation.
+    return Lv::X;
+  }
+  if (good == faulty) {
+    return good;
+  }
+  return good == Lv::One ? Lv::D : Lv::Dbar;
+}
+
+Lv lv_not(Lv a) {
+  switch (a) {
+    case Lv::Zero:
+      return Lv::One;
+    case Lv::One:
+      return Lv::Zero;
+    case Lv::X:
+      return Lv::X;
+    case Lv::D:
+      return Lv::Dbar;
+    case Lv::Dbar:
+      return Lv::D;
+  }
+  return Lv::X;
+}
+
+Lv lv_and(Lv a, Lv b) {
+  // Evaluate good and faulty machines independently; exact for AND.
+  const Lv g = (good_value(a) == Lv::Zero || good_value(b) == Lv::Zero)
+                   ? Lv::Zero
+                   : (good_value(a) == Lv::One ? good_value(b)
+                                               : good_value(a));
+  const Lv f = (faulty_value(a) == Lv::Zero || faulty_value(b) == Lv::Zero)
+                   ? Lv::Zero
+                   : (faulty_value(a) == Lv::One ? faulty_value(b)
+                                                 : faulty_value(a));
+  return combine(g, f);
+}
+
+Lv lv_or(Lv a, Lv b) { return lv_not(lv_and(lv_not(a), lv_not(b))); }
+
+Lv lv_xor(Lv a, Lv b) {
+  return lv_or(lv_and(a, lv_not(b)), lv_and(lv_not(a), b));
+}
+
+Lv eval_gate(net::GateType type, std::span<const Lv> fanin) {
+  using net::GateType;
+  GDF_ASSERT(!fanin.empty(), "eval_gate needs at least one fanin value");
+  switch (type) {
+    case GateType::Buf:
+      return fanin[0];
+    case GateType::Not:
+      return lv_not(fanin[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      Lv acc = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) {
+        acc = lv_and(acc, fanin[i]);
+      }
+      return type == GateType::Nand ? lv_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Lv acc = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) {
+        acc = lv_or(acc, fanin[i]);
+      }
+      return type == GateType::Nor ? lv_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Lv acc = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) {
+        acc = lv_xor(acc, fanin[i]);
+      }
+      return type == GateType::Xnor ? lv_not(acc) : acc;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  GDF_ASSERT(false, "eval_gate called on a boundary gate");
+  return Lv::X;
+}
+
+}  // namespace gdf::sim

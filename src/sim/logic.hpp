@@ -1,0 +1,47 @@
+// Five-valued test logic {0, 1, X, D, D'} — the static D-calculus used by
+// the sequential engines (SEMILET) and by FAUSIM.
+//
+// D means good-machine 1 / faulty-machine 0; D' the opposite. X is an
+// unknown shared by both machines. The paper's "fixed but unknown" U values
+// handed over by TDgen for non-steady PPOs are represented as X, which is
+// sound (detection is only claimed when it holds for every value of X) and
+// reproduces the pessimism §6 of the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "netlist/gate_type.hpp"
+
+namespace gdf::sim {
+
+enum class Lv : std::uint8_t { Zero = 0, One = 1, X = 2, D = 3, Dbar = 4 };
+
+inline constexpr int kLvCount = 5;
+
+/// "0", "1", "X", "D", "D'".
+std::string_view lv_name(Lv v);
+
+inline bool is_binary(Lv v) { return v == Lv::Zero || v == Lv::One; }
+inline bool is_fault_effect(Lv v) { return v == Lv::D || v == Lv::Dbar; }
+
+/// Good-machine component (D -> 1, D' -> 0, else itself).
+Lv good_value(Lv v);
+/// Faulty-machine component (D -> 0, D' -> 1, else itself).
+Lv faulty_value(Lv v);
+/// Combines independent good/faulty components into one Lv (X if either
+/// side is X but the sides disagree in a way X cannot express... see impl).
+Lv combine(Lv good, Lv faulty);
+
+Lv lv_not(Lv a);
+Lv lv_and(Lv a, Lv b);
+Lv lv_or(Lv a, Lv b);
+Lv lv_xor(Lv a, Lv b);
+
+/// Evaluates one gate over already-computed fanin values. Input and Dff
+/// gates are boundary values owned by the simulator and must not be passed
+/// here.
+Lv eval_gate(net::GateType type, std::span<const Lv> fanin);
+
+}  // namespace gdf::sim

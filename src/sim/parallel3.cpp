@@ -1,0 +1,95 @@
+#include "sim/parallel3.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::sim {
+
+Lv w3_lane(Word3 w, unsigned lane) {
+  GDF_ASSERT(lane < 64, "lane out of range");
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  const bool one = (w.ones & bit) != 0;
+  const bool zero = (w.zeros & bit) != 0;
+  GDF_ASSERT(!(one && zero), "corrupt dual-rail word");
+  if (one) {
+    return Lv::One;
+  }
+  if (zero) {
+    return Lv::Zero;
+  }
+  return Lv::X;
+}
+
+ParallelSim3::ParallelSim3(const net::Netlist& nl)
+    : nl_(&nl), lev_(net::levelize(nl)) {}
+
+void ParallelSim3::eval_frame(std::span<const Word3> pis,
+                              std::span<const Word3> state,
+                              std::vector<Word3>& line_values) const {
+  GDF_ASSERT(pis.size() == nl_->inputs().size(), "PI word count mismatch");
+  GDF_ASSERT(state.size() == nl_->dffs().size(), "state word count mismatch");
+  line_values.assign(nl_->size(), Word3{});
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    line_values[nl_->inputs()[i]] = pis[i];
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    line_values[nl_->dffs()[i]] = state[i];
+  }
+  for (const net::GateId id : lev_.order) {
+    const net::Gate& g = nl_->gate(id);
+    using net::GateType;
+    if (g.type == GateType::Input || g.type == GateType::Dff) {
+      continue;
+    }
+    Word3 acc = line_values[g.fanin[0]];
+    switch (g.type) {
+      case GateType::Buf:
+        break;
+      case GateType::Not:
+        acc = w3_not(acc);
+        break;
+      case GateType::And:
+      case GateType::Nand:
+        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
+          acc = w3_and(acc, line_values[g.fanin[i]]);
+        }
+        if (g.type == GateType::Nand) {
+          acc = w3_not(acc);
+        }
+        break;
+      case GateType::Or:
+      case GateType::Nor:
+        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
+          acc = w3_or(acc, line_values[g.fanin[i]]);
+        }
+        if (g.type == GateType::Nor) {
+          acc = w3_not(acc);
+        }
+        break;
+      case GateType::Xor:
+      case GateType::Xnor:
+        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
+          acc = w3_xor(acc, line_values[g.fanin[i]]);
+        }
+        if (g.type == GateType::Xnor) {
+          acc = w3_not(acc);
+        }
+        break;
+      case GateType::Input:
+      case GateType::Dff:
+        break;
+    }
+    line_values[id] = acc;
+  }
+}
+
+std::vector<Word3> ParallelSim3::next_state(
+    std::span<const Word3> line_values) const {
+  std::vector<Word3> next;
+  next.reserve(nl_->dffs().size());
+  for (const net::GateId dff : nl_->dffs()) {
+    next.push_back(line_values[nl_->gate(dff).fanin[0]]);
+  }
+  return next;
+}
+
+}  // namespace gdf::sim

@@ -1,0 +1,85 @@
+#include "sim/seq_sim.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::sim {
+
+SeqSimulator::SeqSimulator(const net::Netlist& nl)
+    : nl_(&nl), lev_(net::levelize(nl)) {}
+
+StateVec SeqSimulator::unknown_state() const {
+  return StateVec(nl_->dffs().size(), Lv::X);
+}
+
+void SeqSimulator::eval_frame(std::span<const Lv> pis,
+                              std::span<const Lv> state,
+                              std::vector<Lv>& line_values,
+                              const Injection* injection) const {
+  GDF_ASSERT(pis.size() == nl_->inputs().size(), "PI vector size mismatch");
+  GDF_ASSERT(state.size() == nl_->dffs().size(), "state vector size mismatch");
+  line_values.assign(nl_->size(), Lv::X);
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    line_values[nl_->inputs()[i]] = pis[i];
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    line_values[nl_->dffs()[i]] = state[i];
+  }
+  const auto inject = [&](net::GateId id) {
+    if (injection != nullptr && injection->line == id) {
+      line_values[id] =
+          combine(good_value(line_values[id]), injection->faulty);
+    }
+  };
+  for (const net::GateId src : nl_->inputs()) {
+    inject(src);
+  }
+  for (const net::GateId src : nl_->dffs()) {
+    inject(src);
+  }
+  std::vector<Lv> fanin_values;
+  for (const net::GateId id : lev_.order) {
+    const net::Gate& g = nl_->gate(id);
+    if (g.type == net::GateType::Input || g.type == net::GateType::Dff) {
+      continue;  // boundary values set above
+    }
+    fanin_values.clear();
+    for (const net::GateId driver : g.fanin) {
+      fanin_values.push_back(line_values[driver]);
+    }
+    line_values[id] = eval_gate(g.type, fanin_values);
+    inject(id);
+  }
+}
+
+StateVec SeqSimulator::next_state(std::span<const Lv> line_values) const {
+  StateVec next;
+  next.reserve(nl_->dffs().size());
+  for (const net::GateId dff : nl_->dffs()) {
+    next.push_back(line_values[nl_->gate(dff).fanin[0]]);
+  }
+  return next;
+}
+
+std::vector<Lv> SeqSimulator::outputs(std::span<const Lv> line_values) const {
+  std::vector<Lv> pos;
+  pos.reserve(nl_->outputs().size());
+  for (const net::GateId po : nl_->outputs()) {
+    pos.push_back(line_values[po]);
+  }
+  return pos;
+}
+
+StateVec SeqSimulator::run(std::span<const InputVec> sequence, StateVec state,
+                           std::vector<std::vector<Lv>>* po_trace) const {
+  std::vector<Lv> line_values;
+  for (const InputVec& pis : sequence) {
+    eval_frame(pis, state, line_values);
+    if (po_trace != nullptr) {
+      po_trace->push_back(outputs(line_values));
+    }
+    state = next_state(line_values);
+  }
+  return state;
+}
+
+}  // namespace gdf::sim

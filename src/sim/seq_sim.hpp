@@ -1,0 +1,66 @@
+// Frame-by-frame simulator of the sequential circuit over the five-valued
+// logic. One "frame" is one clock period: combinational settling followed by
+// the register edge — the time frame model of the paper's Figure 2 (this
+// simulator always models the slow clock, where every signal settles).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace gdf::sim {
+
+/// State vector: one value per flip-flop, indexed by position in
+/// Netlist::dffs() order.
+using StateVec = std::vector<Lv>;
+/// Input vector: one value per primary input, in Netlist::inputs() order.
+using InputVec = std::vector<Lv>;
+
+/// A static fault active during a frame: the named line's faulty-machine
+/// value is forced to `faulty` (good-machine value computed normally), so a
+/// divergence appears as D/D' and propagates through the D-calculus.
+struct Injection {
+  net::GateId line = net::kNoGate;
+  Lv faulty = Lv::X;
+
+  bool active() const { return line != net::kNoGate; }
+};
+
+class SeqSimulator {
+ public:
+  explicit SeqSimulator(const net::Netlist& nl);
+
+  const net::Netlist& netlist() const { return *nl_; }
+
+  /// All-X power-up state.
+  StateVec unknown_state() const;
+
+  /// Computes every line value for one settled frame. `line_values` is
+  /// resized to the gate count; Input gates carry the PI value, Dff gates
+  /// carry the present-state value. `injection`, if given, forces the
+  /// faulty machine's value at one line (stuck-at style).
+  void eval_frame(std::span<const Lv> pis, std::span<const Lv> state,
+                  std::vector<Lv>& line_values,
+                  const Injection* injection = nullptr) const;
+
+  /// Next-state vector implied by settled line values (value at each DFF's
+  /// data pin).
+  StateVec next_state(std::span<const Lv> line_values) const;
+
+  /// Primary output values from settled line values.
+  std::vector<Lv> outputs(std::span<const Lv> line_values) const;
+
+  /// Runs a whole input sequence from `state`, returning the final state;
+  /// if `po_trace` is given it receives the PO vector of every frame.
+  StateVec run(std::span<const InputVec> sequence, StateVec state,
+               std::vector<std::vector<Lv>>* po_trace = nullptr) const;
+
+ private:
+  const net::Netlist* nl_;
+  net::Levelization lev_;
+};
+
+}  // namespace gdf::sim

@@ -1,0 +1,213 @@
+#include "tdgen/implication.hpp"
+
+#include "base/error.hpp"
+
+namespace gdf::tdgen {
+
+using alg::kCarrierSet;
+using alg::kCleanSet;
+using alg::kEmptySet;
+using alg::kFullSet;
+using alg::kNoNode;
+using alg::kPrimaryDomain;
+using alg::Mode;
+using alg::Node;
+using alg::NodeId;
+using alg::NodeKind;
+using alg::Op2;
+using alg::VSet;
+
+// Both algebra modes keep the initial-frame component exact (the
+// non-robust table is restricted to the hazard relaxation for exactly this
+// reason — see tables.cpp), so the register constraint can use value
+// initials directly in either mode.
+
+ImplicationEngine::ImplicationEngine(const alg::AtpgModel& model,
+                                     const alg::DelayAlgebra& algebra)
+    : model_(&model), algebra_(&algebra) {
+  sets_.assign(model.node_count(), kFullSet);
+  in_queue_.assign(model.node_count(), false);
+  register_roles_.assign(model.node_count(), {});
+  for (std::size_t k = 0; k < model.ppis().size(); ++k) {
+    register_roles_[model.ppis()[k]].push_back(k);
+    register_roles_[model.ppo_node(k)].push_back(k);
+  }
+}
+
+void ImplicationEngine::init(const alg::FaultSpec& fault) {
+  fault_ = fault;
+  trail_.clear();
+  queue_.clear();
+  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  conflict_ = false;
+
+  std::vector<bool> in_cone(model_->node_count(), false);
+  if (fault.site != kNoNode) {
+    for (const NodeId id : model_->carrier_cone(fault.site)) {
+      in_cone[id] = true;
+    }
+  }
+  for (NodeId id = 0; id < model_->node_count(); ++id) {
+    const Node& n = model_->node(id);
+    VSet s = n.source() ? kPrimaryDomain : kFullSet;
+    if (!in_cone[id]) {
+      s &= kCleanSet;
+    } else if (id == fault.site) {
+      s = alg::DelayAlgebra::site_transform(s, fault.slow_to_rise);
+    }
+    sets_[id] = s;
+    enqueue(id);
+  }
+  propagate();
+}
+
+bool ImplicationEngine::assign(NodeId n, VSet allowed) {
+  if (conflict_) {
+    return false;
+  }
+  if (!narrow(n, static_cast<VSet>(sets_[n] & allowed))) {
+    return false;
+  }
+  return propagate();
+}
+
+void ImplicationEngine::rollback(std::size_t m) {
+  GDF_ASSERT(m <= trail_.size(), "rollback past trail head");
+  while (trail_.size() > m) {
+    const TrailEntry& e = trail_.back();
+    sets_[e.node] = e.old_set;
+    trail_.pop_back();
+  }
+  queue_.clear();
+  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  conflict_ = false;
+}
+
+bool ImplicationEngine::narrow(NodeId n, VSet next) {
+  const VSet current = sets_[n];
+  next &= current;
+  if (next == current) {
+    return true;
+  }
+  trail_.push_back({n, current});
+  sets_[n] = next;
+  if (next == kEmptySet) {
+    conflict_ = true;
+    return false;
+  }
+  enqueue(n);
+  for (const NodeId reader : model_->fanout(n)) {
+    enqueue(reader);
+  }
+  return true;
+}
+
+void ImplicationEngine::enqueue(NodeId n) {
+  if (!in_queue_[n]) {
+    in_queue_[n] = true;
+    queue_.push_back(n);
+  }
+}
+
+alg::VSet ImplicationEngine::forward_raw(const Node& n) const {
+  switch (n.kind) {
+    case NodeKind::Buf:
+      return sets_[n.in0];
+    case NodeKind::Not:
+      return algebra_->set_not(sets_[n.in0]);
+    case NodeKind::And2:
+      return algebra_->set_fwd(Op2::And, sets_[n.in0], sets_[n.in1]);
+    case NodeKind::Or2:
+      return algebra_->set_fwd(Op2::Or, sets_[n.in0], sets_[n.in1]);
+    case NodeKind::Xor2:
+      return algebra_->set_fwd(Op2::Xor, sets_[n.in0], sets_[n.in1]);
+    case NodeKind::Pi:
+    case NodeKind::Ppi:
+      break;
+  }
+  GDF_ASSERT(false, "forward_raw on a source node");
+  return kEmptySet;
+}
+
+bool ImplicationEngine::apply_register_pair(std::size_t dff_index) {
+  const NodeId ppi = model_->ppis()[dff_index];
+  const NodeId ppo = model_->ppo_node(dff_index);
+  const unsigned allowed_fins = alg::vset_initials(sets_[ppo]);
+  if (!narrow(ppi, alg::vset_with_final_in(sets_[ppi], allowed_fins))) {
+    return false;
+  }
+  const unsigned allowed_inits = alg::vset_finals(sets_[ppi]);
+  return narrow(ppo, alg::vset_with_initial_in(sets_[ppo], allowed_inits));
+}
+
+bool ImplicationEngine::process(NodeId id) {
+  const Node& n = model_->node(id);
+  const bool is_site = id == fault_.site;
+  if (!n.source()) {
+    VSet raw = forward_raw(n);
+    if (is_site) {
+      raw = alg::DelayAlgebra::site_transform(raw, fault_.slow_to_rise);
+    }
+    if (!narrow(id, raw)) {
+      return false;
+    }
+    VSet out_req = sets_[id];
+    if (is_site) {
+      out_req =
+          alg::DelayAlgebra::site_transform_pre(out_req, fault_.slow_to_rise);
+    }
+    switch (n.kind) {
+      case NodeKind::Buf:
+        if (!narrow(n.in0, out_req)) {
+          return false;
+        }
+        break;
+      case NodeKind::Not:
+        if (!narrow(n.in0, algebra_->set_not(out_req))) {
+          return false;
+        }
+        break;
+      case NodeKind::And2:
+      case NodeKind::Or2:
+      case NodeKind::Xor2: {
+        const Op2 op = n.kind == NodeKind::And2
+                           ? Op2::And
+                           : (n.kind == NodeKind::Or2 ? Op2::Or : Op2::Xor);
+        if (!narrow(n.in0, algebra_->set_bwd_first(op, sets_[n.in0],
+                                                   sets_[n.in1], out_req))) {
+          return false;
+        }
+        if (!narrow(n.in1, algebra_->set_bwd_first(op, sets_[n.in1],
+                                                   sets_[n.in0], out_req))) {
+          return false;
+        }
+        break;
+      }
+      case NodeKind::Pi:
+      case NodeKind::Ppi:
+        break;
+    }
+  }
+  for (const std::size_t dff_index : register_roles_[id]) {
+    if (!apply_register_pair(dff_index)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ImplicationEngine::propagate() {
+  while (!queue_.empty()) {
+    const NodeId id = queue_.front();
+    queue_.pop_front();
+    in_queue_[id] = false;
+    if (!process(id)) {
+      queue_.clear();
+      std::fill(in_queue_.begin(), in_queue_.end(), false);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gdf::tdgen

@@ -1,0 +1,81 @@
+// Set-based implication engine over the decomposed two-frame model.
+//
+// Every node holds a byte-sized set of possible eight-valued assignments.
+// Assignments narrow sets; a fixpoint queue runs forward implication
+// (output ∩= image of input sets), backward implication (input ∩= members
+// with support), the fault-site transform, and the state-register
+// correlation (PPI.final = PPO.initial, the paper's register "truth
+// table"). All narrowing is recorded on a trail so the search can backtrack
+// in O(changes).
+//
+// Invariant: each set over-approximates the values the line can take in
+// any real execution consistent with the constraints added so far. Forward
+// implication preserves this exactly, backward pruning removes only
+// support-less members, so conclusions drawn from the sets (conflict on
+// empty set, guaranteed observation on carrier-only sets) are sound.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "algebra/frame_sim.hpp"
+#include "algebra/model.hpp"
+#include "algebra/tables.hpp"
+
+namespace gdf::tdgen {
+
+class ImplicationEngine {
+ public:
+  ImplicationEngine(const alg::AtpgModel& model,
+                    const alg::DelayAlgebra& algebra);
+
+  /// Resets all sets for a fresh fault: primary domains at PI/PPI, carriers
+  /// allowed only inside the fault cone, the site transform armed at the
+  /// fault site. Clears the trail.
+  void init(const alg::FaultSpec& fault);
+
+  /// Narrows node `n` to `allowed` and propagates to fixpoint.
+  /// Returns false (and sets conflict()) if any set becomes empty.
+  bool assign(alg::NodeId n, alg::VSet allowed);
+
+  alg::VSet get(alg::NodeId n) const { return sets_[n]; }
+  bool conflict() const { return conflict_; }
+
+  /// Trail position for later rollback.
+  std::size_t mark() const { return trail_.size(); }
+  /// Restores every set changed after `m` and clears the conflict flag.
+  void rollback(std::size_t m);
+
+  const alg::AtpgModel& model() const { return *model_; }
+  const alg::DelayAlgebra& algebra() const { return *algebra_; }
+  const alg::FaultSpec& fault() const { return fault_; }
+
+ private:
+  struct TrailEntry {
+    alg::NodeId node;
+    alg::VSet old_set;
+  };
+
+  bool narrow(alg::NodeId n, alg::VSet next);
+  void enqueue(alg::NodeId n);
+  bool process(alg::NodeId n);
+  bool propagate();
+  alg::VSet forward_raw(const alg::Node& n) const;
+  bool apply_register_pair(std::size_t dff_index);
+
+  const alg::AtpgModel* model_;
+  const alg::DelayAlgebra* algebra_;
+  alg::FaultSpec fault_;
+  std::vector<alg::VSet> sets_;
+  std::vector<TrailEntry> trail_;
+  std::deque<alg::NodeId> queue_;
+  std::vector<bool> in_queue_;
+  bool conflict_ = false;
+
+  /// dff indices for which a node is the PPI / PPO partner (a PPO node can
+  /// serve several flip-flops when fanout is not expanded).
+  std::vector<std::vector<std::size_t>> register_roles_;
+};
+
+}  // namespace gdf::tdgen

@@ -1,0 +1,67 @@
+#include "tdgen/local_test.hpp"
+
+namespace gdf::tdgen {
+
+using alg::V8;
+using alg::VSet;
+
+PpoKind classify_ppo(VSet s) {
+  if (s == alg::vset_of(V8::Zero)) {
+    return PpoKind::Known0;
+  }
+  if (s == alg::vset_of(V8::One)) {
+    return PpoKind::Known1;
+  }
+  if (s == alg::vset_of(V8::RiseC)) {
+    // Good machine samples the completed rise (1), the faulty one is late
+    // (0): D in the D/D' convention (good/faulty).
+    return PpoKind::FaultD;
+  }
+  if (s == alg::vset_of(V8::FallC)) {
+    return PpoKind::FaultDbar;
+  }
+  return PpoKind::Unknown;
+}
+
+namespace {
+
+int bit_from_mask(unsigned mask) {
+  if (mask == 0b01) {
+    return 0;
+  }
+  if (mask == 0b10) {
+    return 1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<int> required_initial_state(const LocalTest& t) {
+  std::vector<int> s0;
+  s0.reserve(t.ppi_sets.size());
+  for (const VSet s : t.ppi_sets) {
+    s0.push_back(bit_from_mask(alg::vset_initials(s)));
+  }
+  return s0;
+}
+
+std::vector<int> initial_frame_pis(const LocalTest& t) {
+  std::vector<int> v1;
+  v1.reserve(t.pi_sets.size());
+  for (const VSet s : t.pi_sets) {
+    v1.push_back(bit_from_mask(alg::vset_initials(s)));
+  }
+  return v1;
+}
+
+std::vector<int> test_frame_pis(const LocalTest& t) {
+  std::vector<int> v2;
+  v2.reserve(t.pi_sets.size());
+  for (const VSet s : t.pi_sets) {
+    v2.push_back(bit_from_mask(alg::vset_finals(s)));
+  }
+  return v2;
+}
+
+}  // namespace gdf::tdgen

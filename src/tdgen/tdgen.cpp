@@ -1,0 +1,382 @@
+#include "tdgen/tdgen.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace gdf::tdgen {
+
+using alg::kCarrierSet;
+using alg::kEmptySet;
+using alg::Node;
+using alg::NodeId;
+using alg::V8;
+using alg::VSet;
+
+TdgenSearch::TdgenSearch(const alg::AtpgModel& model,
+                         const alg::DelayAlgebra& algebra, DelayFault fault,
+                         TdgenOptions options)
+    : model_(&model),
+      algebra_(&algebra),
+      fault_(fault),
+      options_(options),
+      engine_(model, algebra),
+      sim_(model, algebra) {
+  GDF_ASSERT(fault.line < model.netlist().size(), "fault line out of range");
+  spec_.site = model.head_of(fault.line);
+  spec_.slow_to_rise = fault.slow_to_rise;
+  cone_ = model.carrier_cone(spec_.site);
+  // Deterministic frontier scans in observation-distance order.
+  std::sort(cone_.begin(), cone_.end(), [&model](NodeId a, NodeId b) {
+    if (model.obs_distance(a) != model.obs_distance(b)) {
+      return model.obs_distance(a) < model.obs_distance(b);
+    }
+    return a < b;
+  });
+}
+
+void TdgenSearch::pin_ppo(std::size_t dff_index, VSet allowed) {
+  GDF_ASSERT(!started_, "pin_ppo after the search started");
+  pins_.push_back({dff_index, allowed});
+}
+
+void TdgenSearch::require_observation(NodeId obs_node) {
+  GDF_ASSERT(!started_, "require_observation after the search started");
+  required_obs_ = obs_node;
+}
+
+bool TdgenSearch::start() {
+  engine_.init(spec_);
+  if (engine_.conflict()) {
+    return false;
+  }
+  // Activation: the site must expose the carrier of the targeted
+  // transition.
+  const VSet carrier = alg::vset_of(
+      fault_.slow_to_rise ? V8::RiseC : V8::FallC);
+  if (!engine_.assign(spec_.site, carrier)) {
+    return false;
+  }
+  for (const PpoPin& pin : pins_) {
+    if (!engine_.assign(model_->ppo_node(pin.dff_index), pin.allowed)) {
+      return false;
+    }
+  }
+  if (required_obs_.has_value() &&
+      !engine_.assign(*required_obs_, kCarrierSet)) {
+    return false;
+  }
+  return true;
+}
+
+bool TdgenSearch::carrier_possible_at_observation() const {
+  if (required_obs_.has_value()) {
+    return (engine_.get(*required_obs_) & kCarrierSet) != 0;
+  }
+  for (const NodeId obs : model_->observation_points()) {
+    if ((engine_.get(obs) & kCarrierSet) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TdgenSearch::engine_claims_observation() const {
+  for (const NodeId obs : model_->observation_points()) {
+    const VSet s = engine_.get(obs);
+    if (s != kEmptySet && (s & ~kCarrierSet) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TdgenSearch::check_stimulus(const std::vector<VSet>& pi_sets,
+                                 const std::vector<unsigned>& ppi_inits,
+                                 CheckOutcome* out) const {
+  alg::TwoFrameStimulus stimulus;
+  stimulus.pi_sets = pi_sets;
+  // The PPI final-frame component is produced by the register from the PPO
+  // values of the initial frame, so it is derived, never assumed: starting
+  // with all finals allowed, repeatedly prune each PPI's finals to the
+  // initial values its PPO can take under the current stimulus. The
+  // fixpoint from the wide side over-approximates every real execution,
+  // which makes the observation check sound for all don't-care fills.
+  stimulus.ppi_sets.reserve(model_->ppis().size());
+  for (const unsigned inits : ppi_inits) {
+    stimulus.ppi_sets.push_back(
+        alg::vset_with_initial_in(alg::kPrimaryDomain, inits));
+  }
+
+  std::vector<VSet> sim_sets;
+  for (;;) {
+    sim_.run(stimulus, &spec_, sim_sets);
+    bool changed = false;
+    for (std::size_t k = 0; k < model_->ppis().size(); ++k) {
+      const VSet ppo = sim_sets[model_->ppo_node(k)];
+      const VSet pruned = alg::vset_with_final_in(stimulus.ppi_sets[k],
+                                                  alg::vset_initials(ppo));
+      if (pruned != stimulus.ppi_sets[k]) {
+        stimulus.ppi_sets[k] = pruned;
+        changed = true;
+      }
+      if (pruned == kEmptySet) {
+        return false;  // no register-consistent execution
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Pins must hold for every completion of the unassigned inputs, i.e. in
+  // the forward simulation sets, not merely in the engine's constraint
+  // store (reconvergence can make the latter optimistic at inner nodes).
+  for (const PpoPin& pin : pins_) {
+    const VSet s = sim_sets[model_->ppo_node(pin.dff_index)];
+    if (s == kEmptySet || (s & ~pin.allowed) != 0) {
+      return false;
+    }
+  }
+
+  std::vector<NodeId> observed;
+  for (const NodeId obs : model_->observation_points()) {
+    const VSet s = sim_sets[obs];
+    if (s != kEmptySet && (s & ~kCarrierSet) == 0) {
+      observed.push_back(obs);
+    }
+  }
+  if (observed.empty()) {
+    return false;
+  }
+  if (required_obs_.has_value() &&
+      std::find(observed.begin(), observed.end(), *required_obs_) ==
+          observed.end()) {
+    return false;
+  }
+  if (out != nullptr) {
+    out->stimulus = std::move(stimulus);
+    out->sim_sets = std::move(sim_sets);
+    out->observed = std::move(observed);
+  }
+  return true;
+}
+
+bool TdgenSearch::verified_solution(LocalTest* out) {
+  // When the fault sits directly on a PI/PPI line, the engine stores the
+  // post-transform carrier there; the simulation wants the raw stimulus
+  // (the activating transition) and applies the site transform itself.
+  const auto source_set = [this](NodeId node) {
+    VSet s = engine_.get(node);
+    if (node == spec_.site) {
+      s = alg::DelayAlgebra::site_transform_pre(s, spec_.slow_to_rise);
+    }
+    return s;
+  };
+  std::vector<VSet> pi_sets;
+  pi_sets.reserve(model_->pis().size());
+  for (const NodeId pi : model_->pis()) {
+    pi_sets.push_back(source_set(pi));
+  }
+  std::vector<unsigned> ppi_inits;
+  ppi_inits.reserve(model_->ppis().size());
+  for (const NodeId ppi : model_->ppis()) {
+    ppi_inits.push_back(alg::vset_initials(source_set(ppi)));
+  }
+
+  CheckOutcome best;
+  if (!check_stimulus(pi_sets, ppi_inits, &best)) {
+    return false;
+  }
+
+  // Don't-care lifting: the search may have pinned more than the test
+  // needs; try to widen every specified state bit and PI back toward X
+  // while the observation stays guaranteed. This keeps the required
+  // initial state small (synchronizable) and the handed-over PPO values
+  // few — the paper's TDgen leaves exactly such X values behind.
+  for (std::size_t k = 0; k < ppi_inits.size(); ++k) {
+    if (ppi_inits[k] == 0b11u) {
+      continue;
+    }
+    const unsigned saved = ppi_inits[k];
+    ppi_inits[k] = 0b11u;
+    CheckOutcome lifted;
+    if (check_stimulus(pi_sets, ppi_inits, &lifted)) {
+      best = std::move(lifted);
+    } else {
+      ppi_inits[k] = saved;
+    }
+  }
+  for (std::size_t i = 0; i < pi_sets.size(); ++i) {
+    const VSet wide = model_->pis()[i] == spec_.site
+                          ? pi_sets[i]
+                          : alg::kPrimaryDomain;
+    if (pi_sets[i] == wide) {
+      continue;
+    }
+    const VSet saved = pi_sets[i];
+    pi_sets[i] = wide;
+    CheckOutcome lifted;
+    if (check_stimulus(pi_sets, ppi_inits, &lifted)) {
+      best = std::move(lifted);
+    } else {
+      pi_sets[i] = saved;
+    }
+  }
+
+  // Distinct-solution guarantee for the resumable enumeration: different
+  // internal search states can lift to the same published test.
+  std::string key;
+  key.reserve(best.stimulus.pi_sets.size() +
+              best.stimulus.ppi_sets.size());
+  for (const VSet s : best.stimulus.pi_sets) {
+    key.push_back(static_cast<char>(s));
+  }
+  for (const VSet s : best.stimulus.ppi_sets) {
+    key.push_back(static_cast<char>(s));
+  }
+  if (!published_.insert(key).second) {
+    return false;
+  }
+
+  if (out != nullptr) {
+    out->pi_sets = best.stimulus.pi_sets;
+    out->ppi_sets = best.stimulus.ppi_sets;
+    out->ppo_sets.clear();
+    out->observed = best.observed;
+    out->observed_at_po = false;
+    out->observed_ppos.clear();
+    for (std::size_t k = 0; k < model_->ppis().size(); ++k) {
+      out->ppo_sets.push_back(best.sim_sets[model_->ppo_node(k)]);
+    }
+    for (const NodeId obs : best.observed) {
+      if (model_->node(obs).is_po) {
+        out->observed_at_po = true;
+      }
+    }
+    for (std::size_t k = 0; k < model_->ppis().size(); ++k) {
+      const NodeId ppo = model_->ppo_node(k);
+      if (std::find(best.observed.begin(), best.observed.end(), ppo) !=
+          best.observed.end()) {
+        out->observed_ppos.push_back(k);
+      }
+    }
+  }
+  return true;
+}
+
+bool TdgenSearch::push_decision(NodeId node, VSet try_set) {
+  const VSet current = engine_.get(node);
+  try_set &= current;
+  GDF_ASSERT(try_set != kEmptySet && try_set != current,
+             "decision must strictly split a set");
+  ++decisions_;
+  stack_.push_back({engine_.mark(), node,
+                    static_cast<VSet>(current & ~try_set)});
+  engine_.assign(node, try_set);
+  return true;
+}
+
+bool TdgenSearch::choose_decision() {
+  // 1. Extend the fault-effect path: a node that could still become a
+  // carrier, is not one yet, and has a definite-carrier input. The cone is
+  // pre-sorted nearest-observation-first.
+  for (const NodeId id : cone_) {
+    const VSet s = engine_.get(id);
+    if ((s & kCarrierSet) == 0 || (s & ~kCarrierSet) == 0) {
+      continue;
+    }
+    const Node& n = model_->node(id);
+    if (n.source()) {
+      continue;
+    }
+    const auto definite_carrier = [this](NodeId input) {
+      if (input == alg::kNoNode) {
+        return false;
+      }
+      const VSet v = engine_.get(input);
+      return v != kEmptySet && (v & ~kCarrierSet) == 0;
+    };
+    if (!definite_carrier(n.in0) && !definite_carrier(n.in1)) {
+      continue;
+    }
+    return push_decision(id, static_cast<VSet>(s & kCarrierSet));
+  }
+  // 2. Split a primary: singleton-first, deterministic order. Values are
+  // tried steady-first (0, 1, R, F) which empirically keeps off-path
+  // conditions simple.
+  for (const auto& group : {model_->pis(), model_->ppis()}) {
+    for (const NodeId id : group) {
+      const VSet s = engine_.get(id);
+      if (alg::vset_size(s) <= 1) {
+        continue;
+      }
+      return push_decision(id, alg::vset_of(alg::vset_first(s)));
+    }
+  }
+  return false;
+}
+
+bool TdgenSearch::backtrack() {
+  ++backtracks_;
+  if (backtracks_ > options_.backtrack_limit) {
+    aborted_ = true;
+    return false;
+  }
+  while (!stack_.empty()) {
+    Decision& d = stack_.back();
+    engine_.rollback(d.mark);
+    if (d.rest != kEmptySet) {
+      const VSet rest = d.rest;
+      d.rest = kEmptySet;
+      engine_.assign(d.node, rest);
+      return true;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+TdgenStatus TdgenSearch::exhausted_status() const {
+  return aborted_ ? TdgenStatus::Aborted : TdgenStatus::Untestable;
+}
+
+TdgenStatus TdgenSearch::next(LocalTest* out) {
+  if (aborted_) {
+    return TdgenStatus::Aborted;
+  }
+  if (!started_) {
+    started_ = true;
+    if (!start()) {
+      return TdgenStatus::Untestable;
+    }
+  } else {
+    // Resume past the previous solution leaf.
+    if (!backtrack()) {
+      return exhausted_status();
+    }
+  }
+  for (;;) {
+    if (decisions_ > options_.decision_limit) {
+      aborted_ = true;
+      return TdgenStatus::Aborted;
+    }
+    if (engine_.conflict() || !carrier_possible_at_observation()) {
+      if (!backtrack()) {
+        return exhausted_status();
+      }
+      continue;
+    }
+    if (engine_claims_observation() && verified_solution(out)) {
+      return TdgenStatus::TestFound;
+    }
+    if (!choose_decision()) {
+      // Fully decided but not a verified solution: dead leaf.
+      if (!backtrack()) {
+        return exhausted_status();
+      }
+    }
+  }
+}
+
+}  // namespace gdf::tdgen

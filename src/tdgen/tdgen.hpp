@@ -1,0 +1,110 @@
+// TDgen — the local robust delay-fault test pattern generator (paper §3).
+//
+// A branch-and-bound search over per-line value sets: the fault site is
+// pinned to its carrier value, decisions extend the fault-effect path
+// toward an observation point (c-frontier, nearest-observation-first) or
+// split primary input/state sets, and the implication engine prunes after
+// every decision. A candidate is accepted as a solution only after an
+// independent forward two-frame simulation proves a carrier-only value at
+// an observation point for *every* completion of the unassigned inputs —
+// tests are robust by construction.
+//
+// The search is resumable: next() enumerates distinct local tests so the
+// sequential stages (FOGBUSTER) can reject a solution and demand another,
+// which is what makes the combined algorithm complete. The paper's abort
+// policy (100 local backtracks) is the default.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/frame_sim.hpp"
+#include "tdgen/fault.hpp"
+#include "tdgen/implication.hpp"
+#include "tdgen/local_test.hpp"
+
+namespace gdf::tdgen {
+
+struct TdgenOptions {
+  int backtrack_limit = 100;     ///< paper §6
+  long decision_limit = 200000;  ///< safety net against pathological cases
+};
+
+enum class TdgenStatus {
+  TestFound,   ///< *out holds a verified local test; call next() to resume
+  Untestable,  ///< search space exhausted: robustly untestable locally
+  Aborted,     ///< a limit was hit before exhaustion
+};
+
+class TdgenSearch {
+ public:
+  /// `fault.line` refers to the model's netlist (use the fanout-expanded
+  /// netlist so branch faults are addressable).
+  TdgenSearch(const alg::AtpgModel& model, const alg::DelayAlgebra& algebra,
+              DelayFault fault, TdgenOptions options = {});
+
+  /// Constrains a PPO line to `allowed` (e.g. steady clean {1} during
+  /// propagation justification re-entry). Call before the first next().
+  void pin_ppo(std::size_t dff_index, alg::VSet allowed);
+
+  /// Requires the fault effect to be observed at this node (e.g. the PPO
+  /// the propagation phase starts from). Call before the first next().
+  void require_observation(alg::NodeId obs_node);
+
+  /// Produces the next distinct verified local test.
+  TdgenStatus next(LocalTest* out);
+
+  int backtracks() const { return backtracks_; }
+  long decisions() const { return decisions_; }
+
+ private:
+  struct Decision {
+    std::size_t mark;
+    alg::NodeId node;
+    alg::VSet rest;
+  };
+
+  struct PpoPin {
+    std::size_t dff_index;
+    alg::VSet allowed;
+  };
+
+  struct CheckOutcome {
+    alg::TwoFrameStimulus stimulus;
+    std::vector<alg::VSet> sim_sets;
+    std::vector<alg::NodeId> observed;
+  };
+
+  bool start();
+  bool backtrack();
+  bool choose_decision();
+  bool push_decision(alg::NodeId node, alg::VSet try_set);
+  bool carrier_possible_at_observation() const;
+  bool engine_claims_observation() const;
+  bool check_stimulus(const std::vector<alg::VSet>& pi_sets,
+                      const std::vector<unsigned>& ppi_inits,
+                      CheckOutcome* out) const;
+  bool verified_solution(LocalTest* out);
+  TdgenStatus exhausted_status() const;
+
+  const alg::AtpgModel* model_;
+  const alg::DelayAlgebra* algebra_;
+  DelayFault fault_;
+  TdgenOptions options_;
+  alg::FaultSpec spec_;
+  ImplicationEngine engine_;
+  alg::TwoFrameSim sim_;
+  std::vector<alg::NodeId> cone_;
+  std::vector<PpoPin> pins_;
+  std::optional<alg::NodeId> required_obs_;
+  std::vector<Decision> stack_;
+  std::set<std::string> published_;
+  bool started_ = false;
+  bool aborted_ = false;
+  int backtracks_ = 0;
+  long decisions_ = 0;
+};
+
+}  // namespace gdf::tdgen

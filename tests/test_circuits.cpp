@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "circuits/catalog.hpp"
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "circuits/profiles.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/validate.hpp"
+
+namespace gdf::circuits {
+namespace {
+
+TEST(EmbeddedTest, S27HasPublishedShape) {
+  const net::Netlist nl = make_s27();
+  const net::NetlistStats s = net::compute_stats(nl);
+  EXPECT_EQ(s.primary_inputs, 4u);
+  EXPECT_EQ(s.primary_outputs, 1u);
+  EXPECT_EQ(s.flip_flops, 3u);
+  EXPECT_EQ(s.logic_gates, 10u);
+  EXPECT_EQ(s.inverters, 2u);
+  EXPECT_TRUE(net::validate(nl).ok());
+}
+
+TEST(EmbeddedTest, S27Connectivity) {
+  const net::Netlist nl = make_s27();
+  // G11 drives both the PO inverter G17 and feedback into G10/DFF G6.
+  const net::GateId g11 = nl.find("G11");
+  ASSERT_NE(g11, net::kNoGate);
+  EXPECT_GE(nl.gate(g11).fanout.size(), 3u);
+  EXPECT_TRUE(nl.feeds_dff(g11));
+  const net::GateId g17 = nl.find("G17");
+  EXPECT_TRUE(nl.is_po(g17));
+}
+
+TEST(EmbeddedTest, C17HasPublishedShape) {
+  const net::Netlist nl = make_c17();
+  const net::NetlistStats s = net::compute_stats(nl);
+  EXPECT_EQ(s.primary_inputs, 5u);
+  EXPECT_EQ(s.primary_outputs, 2u);
+  EXPECT_EQ(s.flip_flops, 0u);
+  EXPECT_EQ(s.logic_gates, 6u);
+  EXPECT_TRUE(net::validate(nl).ok());
+}
+
+TEST(ProfilesTest, TwelveTable3Rows) {
+  const auto& profiles = table3_profiles();
+  ASSERT_EQ(profiles.size(), 12u);
+  EXPECT_EQ(profiles.front().name, "s27");
+  EXPECT_EQ(profiles.back().name, "s1238");
+}
+
+TEST(ProfilesTest, LookupThrowsForUnknown) {
+  EXPECT_THROW(profile_for("s9999"), Error);
+}
+
+class GeneratorProfileTest
+    : public ::testing::TestWithParam<BenchmarkProfile> {};
+
+TEST_P(GeneratorProfileTest, MatchesInterfaceCounts) {
+  const BenchmarkProfile& p = GetParam();
+  const net::Netlist nl = generate_iscas_like(p);
+  const net::NetlistStats s = net::compute_stats(nl);
+  EXPECT_EQ(s.primary_inputs, static_cast<std::size_t>(p.primary_inputs));
+  EXPECT_EQ(s.primary_outputs, static_cast<std::size_t>(p.primary_outputs));
+  EXPECT_EQ(s.flip_flops, static_cast<std::size_t>(p.flip_flops));
+  // Gate count is approximate by design; allow 25% headroom.
+  EXPECT_GE(s.logic_gates, static_cast<std::size_t>(p.logic_gates));
+  EXPECT_LE(s.logic_gates,
+            static_cast<std::size_t>(p.logic_gates) * 5 / 4 + 8);
+}
+
+TEST_P(GeneratorProfileTest, DeterministicForSeed) {
+  const BenchmarkProfile& p = GetParam();
+  const std::string a = net::write_bench(generate_iscas_like(p));
+  const std::string b = net::write_bench(generate_iscas_like(p));
+  EXPECT_EQ(a, b);
+}
+
+std::vector<BenchmarkProfile> generated_profiles() {
+  std::vector<BenchmarkProfile> out;
+  for (const BenchmarkProfile& p : table3_profiles()) {
+    if (p.style != CircuitStyle::Exact) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerated, GeneratorProfileTest,
+    ::testing::ValuesIn(generated_profiles()),
+    [](const ::testing::TestParamInfo<BenchmarkProfile>& info) {
+      return info.param.name;
+    });
+
+TEST(GeneratorTest, RefusesExactProfiles) {
+  EXPECT_THROW(generate_iscas_like(profile_for("s27")), Error);
+}
+
+TEST(CatalogTest, LoadsEveryName) {
+  for (const std::string& name : catalog_names()) {
+    const net::Netlist nl = load_circuit(name);
+    EXPECT_EQ(nl.name(), name);
+    EXPECT_TRUE(net::validate(nl).ok()) << name;
+  }
+}
+
+TEST(CatalogTest, UnknownNameThrows) {
+  EXPECT_THROW(load_circuit("s404"), Error);
+}
+
+TEST(GeneratorTest, DifferentSeedsGiveDifferentCircuits) {
+  BenchmarkProfile p = profile_for("s298");
+  const std::string a = net::write_bench(generate_iscas_like(p));
+  p.seed += 1;
+  const std::string b = net::write_bench(generate_iscas_like(p));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace gdf::circuits

@@ -1,0 +1,172 @@
+// Direct tests of the set-based implication engine — the invariants the
+// TDgen search correctness rests on.
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/fanout.hpp"
+#include "tdgen/implication.hpp"
+
+namespace gdf::tdgen {
+namespace {
+
+using alg::AtpgModel;
+using alg::kCarrierSet;
+using alg::kPrimaryDomain;
+using alg::NodeId;
+using alg::robust_algebra;
+using alg::V8;
+using alg::VSet;
+
+class C17Engine : public ::testing::Test {
+ protected:
+  C17Engine()
+      : nl_(net::expand_fanout_branches(circuits::make_c17())),
+        model_(nl_),
+        engine_(model_, robust_algebra()) {
+    fault_.site = model_.head_of(nl_.find("N11"));
+    fault_.slow_to_rise = true;
+    engine_.init(fault_);
+  }
+
+  net::Netlist nl_;
+  AtpgModel model_;
+  ImplicationEngine engine_;
+  alg::FaultSpec fault_;
+};
+
+TEST_F(C17Engine, InitRestrictsDomains) {
+  EXPECT_FALSE(engine_.conflict());
+  // Primary inputs stay within the primary domain.
+  for (const NodeId pi : model_.pis()) {
+    EXPECT_EQ(static_cast<VSet>(engine_.get(pi) & ~kPrimaryDomain), 0);
+  }
+  // Carriers are possible only in the fault cone.
+  std::vector<bool> in_cone(model_.node_count(), false);
+  for (const NodeId id : model_.carrier_cone(fault_.site)) {
+    in_cone[id] = true;
+  }
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    if (!in_cone[id]) {
+      EXPECT_EQ(static_cast<VSet>(engine_.get(id) & kCarrierSet), 0)
+          << "node " << id;
+    }
+  }
+}
+
+TEST_F(C17Engine, ActivationImpliesBackward) {
+  // Pinning the site to Rc forces N11 = NAND(N3,N6) to rise: its And2
+  // body must fall, which excludes steady-one combinations of N3/N6.
+  ASSERT_TRUE(engine_.assign(fault_.site, alg::vset_of(V8::RiseC)));
+  const VSet n3 = engine_.get(model_.head_of(nl_.find("N3")));
+  const VSet n6 = engine_.get(model_.head_of(nl_.find("N6")));
+  // The conjunction N3&N6 must have initial value 1 (so N11 starts 0):
+  // both initial values must include 1.
+  EXPECT_NE(alg::vset_initials(n3) & 0b10u, 0u);
+  EXPECT_NE(alg::vset_initials(n6) & 0b10u, 0u);
+}
+
+TEST_F(C17Engine, RollbackRestoresExactState) {
+  std::vector<VSet> before(model_.node_count());
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    before[id] = engine_.get(id);
+  }
+  const std::size_t mark = engine_.mark();
+  ASSERT_TRUE(engine_.assign(fault_.site, alg::vset_of(V8::RiseC)));
+  ASSERT_TRUE(engine_.assign(model_.pis()[0], alg::vset_of(V8::Zero)));
+  engine_.rollback(mark);
+  EXPECT_FALSE(engine_.conflict());
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    EXPECT_EQ(engine_.get(id), before[id]) << "node " << id;
+  }
+}
+
+TEST_F(C17Engine, ConflictOnContradictoryAssignments) {
+  ASSERT_TRUE(engine_.assign(fault_.site, alg::vset_of(V8::RiseC)));
+  // N11 must rise, so forcing its driver N3 and N6 steady-0 (NAND output
+  // steady 1) contradicts.
+  const NodeId n3 = model_.head_of(nl_.find("N3"));
+  const NodeId n6 = model_.head_of(nl_.find("N6"));
+  engine_.assign(n3, alg::vset_of(V8::Zero));
+  const bool ok = engine_.assign(n6, alg::vset_of(V8::Zero));
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(engine_.conflict());
+}
+
+TEST_F(C17Engine, ConflictClearsOnRollback) {
+  const std::size_t mark = engine_.mark();
+  engine_.assign(model_.head_of(nl_.find("N3")), alg::vset_of(V8::Zero));
+  engine_.assign(model_.head_of(nl_.find("N6")), alg::vset_of(V8::Zero));
+  engine_.assign(fault_.site, alg::vset_of(V8::RiseC));
+  EXPECT_TRUE(engine_.conflict());
+  engine_.rollback(mark);
+  EXPECT_FALSE(engine_.conflict());
+  EXPECT_TRUE(engine_.assign(fault_.site, alg::vset_of(V8::RiseC)));
+}
+
+TEST(RegisterConstraint, CouplesPpiFinalsToPpoInitials) {
+  // q = DFF(d); d = NOT(q): the PPI's final value must equal the PPO's
+  // initial value, which is the inverse of the PPI's initial value.
+  net::NetlistBuilder b("inv_ff");
+  b.input("a");
+  b.output("y");
+  b.dff("q", "d");
+  b.gate("d", net::GateType::Not, {"q"});
+  b.gate("y", net::GateType::And, {"a", "q"});
+  const net::Netlist nl = b.build();
+  const AtpgModel model(nl);
+  ImplicationEngine engine(model, robust_algebra());
+  engine.init({model.head_of(nl.find("y")), true});
+  // Pin the PPI to initial 0: since d = NOT(q), the PPO starts at 1, so
+  // the PPI's final must be 1 → the PPI set collapses to {R}.
+  const NodeId ppi = model.ppis()[0];
+  ASSERT_TRUE(engine.assign(
+      ppi, alg::vset_with_initial_in(kPrimaryDomain, 0b01)));
+  EXPECT_EQ(engine.get(ppi), alg::vset_of(V8::Rise));
+}
+
+TEST(RegisterConstraint, ToggleFlopSteadySubsetIsAbstractionLimit) {
+  // Same circuit: a toggle flop can never hold its value, yet the
+  // *set-level* register filter keeps {0,1} alive because each member has
+  // pairwise support (0 is compatible with the PPO-init of the q=1 member
+  // and vice versa). This documents why the search only trusts solutions
+  // after the register-aware fixpoint simulation: pinning either single
+  // steady value does conflict.
+  net::NetlistBuilder b("inv_ff2");
+  b.input("a");
+  b.output("y");
+  b.dff("q", "d");
+  b.gate("d", net::GateType::Not, {"q"});
+  b.gate("y", net::GateType::And, {"a", "q"});
+  const net::Netlist nl = b.build();
+  const AtpgModel model(nl);
+  for (const V8 steady : {V8::Zero, V8::One}) {
+    ImplicationEngine engine(model, robust_algebra());
+    engine.init({model.head_of(nl.find("y")), true});
+    EXPECT_FALSE(engine.assign(model.ppis()[0], alg::vset_of(steady)))
+        << v8_name(steady);
+    EXPECT_TRUE(engine.conflict());
+  }
+}
+
+TEST(SiteOnBranch, BranchFaultIndependentOfStem) {
+  // The stem N11 fans out to two branches; pinning the branch toward N16
+  // to Rc must not force the sibling branch to a carrier.
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::make_c17());
+  const AtpgModel model(nl);
+  const net::GateId b0 = nl.find("N11$b0");
+  const net::GateId b1 = nl.find("N11$b1");
+  ASSERT_NE(b0, net::kNoGate);
+  ImplicationEngine engine(model, robust_algebra());
+  engine.init({model.head_of(b0), true});
+  ASSERT_TRUE(engine.assign(model.head_of(b0), alg::vset_of(V8::RiseC)));
+  EXPECT_EQ(static_cast<VSet>(engine.get(model.head_of(b1)) & kCarrierSet),
+            0);
+  // But the shared stem must rise for the branch to rise.
+  const VSet stem = engine.get(model.head_of(nl.find("N11")));
+  EXPECT_EQ(stem, alg::vset_of(V8::Rise));
+}
+
+}  // namespace
+}  // namespace gdf::tdgen

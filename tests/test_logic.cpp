@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/logic.hpp"
+
+namespace gdf::sim {
+namespace {
+
+const std::vector<Lv> kAll = {Lv::Zero, Lv::One, Lv::X, Lv::D, Lv::Dbar};
+
+TEST(LvTest, Names) {
+  EXPECT_EQ(lv_name(Lv::Zero), "0");
+  EXPECT_EQ(lv_name(Lv::Dbar), "D'");
+}
+
+TEST(LvTest, GoodFaultyComponents) {
+  EXPECT_EQ(good_value(Lv::D), Lv::One);
+  EXPECT_EQ(faulty_value(Lv::D), Lv::Zero);
+  EXPECT_EQ(good_value(Lv::Dbar), Lv::Zero);
+  EXPECT_EQ(faulty_value(Lv::Dbar), Lv::One);
+  EXPECT_EQ(good_value(Lv::X), Lv::X);
+}
+
+TEST(LvTest, CombineRebuildsValues) {
+  for (const Lv v : kAll) {
+    EXPECT_EQ(combine(good_value(v), faulty_value(v)), v);
+  }
+}
+
+TEST(LvAndTest, MatchesDCalculusTable) {
+  // Classic 5x5 D-calculus AND table.
+  EXPECT_EQ(lv_and(Lv::Zero, Lv::D), Lv::Zero);
+  EXPECT_EQ(lv_and(Lv::One, Lv::D), Lv::D);
+  EXPECT_EQ(lv_and(Lv::D, Lv::D), Lv::D);
+  EXPECT_EQ(lv_and(Lv::D, Lv::Dbar), Lv::Zero);
+  EXPECT_EQ(lv_and(Lv::X, Lv::D), Lv::X);
+  EXPECT_EQ(lv_and(Lv::X, Lv::Zero), Lv::Zero);
+  EXPECT_EQ(lv_and(Lv::X, Lv::One), Lv::X);
+}
+
+TEST(LvAndTest, Commutative) {
+  for (const Lv a : kAll) {
+    for (const Lv b : kAll) {
+      EXPECT_EQ(lv_and(a, b), lv_and(b, a));
+    }
+  }
+}
+
+TEST(LvAndTest, AssociativeUpToX) {
+  // The five-valued abstraction is lossy: X forgets which machine was
+  // unknown, so different fold orders may differ in precision (e.g.
+  // (X AND D) AND D' = X while X AND (D AND D') = 0). Soundness only
+  // requires the two results to be consistent: equal, or one of them X.
+  for (const Lv a : kAll) {
+    for (const Lv b : kAll) {
+      for (const Lv c : kAll) {
+        const Lv left = lv_and(lv_and(a, b), c);
+        const Lv right = lv_and(a, lv_and(b, c));
+        EXPECT_TRUE(left == right || left == Lv::X || right == Lv::X)
+            << lv_name(a) << "," << lv_name(b) << "," << lv_name(c);
+      }
+    }
+  }
+}
+
+TEST(LvAndTest, SoundPerMachine) {
+  // AND over the pair must equal the pair of per-machine ANDs whenever the
+  // result is definite.
+  const auto and01 = [](Lv a, Lv b) {
+    if (a == Lv::Zero || b == Lv::Zero) return Lv::Zero;
+    if (a == Lv::X || b == Lv::X) return Lv::X;
+    return Lv::One;
+  };
+  for (const Lv a : kAll) {
+    for (const Lv b : kAll) {
+      const Lv out = lv_and(a, b);
+      if (out == Lv::X) {
+        continue;  // X is always a sound over-approximation
+      }
+      EXPECT_EQ(good_value(out), and01(good_value(a), good_value(b)));
+      EXPECT_EQ(faulty_value(out), and01(faulty_value(a), faulty_value(b)));
+    }
+  }
+}
+
+TEST(LvNotTest, Involution) {
+  for (const Lv a : kAll) {
+    EXPECT_EQ(lv_not(lv_not(a)), a);
+  }
+}
+
+TEST(LvOrTest, DeMorganConsistent) {
+  for (const Lv a : kAll) {
+    for (const Lv b : kAll) {
+      EXPECT_EQ(lv_or(a, b), lv_not(lv_and(lv_not(a), lv_not(b))));
+    }
+  }
+}
+
+TEST(LvXorTest, KnownCases) {
+  EXPECT_EQ(lv_xor(Lv::D, Lv::D), Lv::Zero);
+  EXPECT_EQ(lv_xor(Lv::D, Lv::Dbar), Lv::One);
+  EXPECT_EQ(lv_xor(Lv::D, Lv::Zero), Lv::D);
+  EXPECT_EQ(lv_xor(Lv::D, Lv::One), Lv::Dbar);
+  EXPECT_EQ(lv_xor(Lv::X, Lv::One), Lv::X);
+}
+
+TEST(EvalGateTest, NandNorXnor) {
+  using net::GateType;
+  const std::vector<Lv> dd = {Lv::D, Lv::D};
+  EXPECT_EQ(eval_gate(GateType::Nand, dd), Lv::Dbar);
+  EXPECT_EQ(eval_gate(GateType::Nor, dd), Lv::Dbar);
+  EXPECT_EQ(eval_gate(GateType::Xnor, dd), Lv::One);
+  const std::vector<Lv> one = {Lv::D};
+  EXPECT_EQ(eval_gate(GateType::Buf, one), Lv::D);
+  EXPECT_EQ(eval_gate(GateType::Not, one), Lv::Dbar);
+}
+
+TEST(EvalGateTest, WideGatesFold) {
+  using net::GateType;
+  const std::vector<Lv> vals = {Lv::One, Lv::One, Lv::D, Lv::One};
+  EXPECT_EQ(eval_gate(GateType::And, vals), Lv::D);
+  EXPECT_EQ(eval_gate(GateType::Nand, vals), Lv::Dbar);
+  const std::vector<Lv> with_zero = {Lv::One, Lv::Zero, Lv::D};
+  EXPECT_EQ(eval_gate(GateType::And, with_zero), Lv::Zero);
+}
+
+}  // namespace
+}  // namespace gdf::sim

@@ -1,0 +1,141 @@
+// Round-trip and cross-representation properties over the whole circuit
+// catalog: the .bench writer/parser, the fanout expansion, and the
+// decomposed ATPG model must all preserve structure and behaviour.
+#include <gtest/gtest.h>
+
+#include "algebra/frame_sim.hpp"
+#include "base/rng.hpp"
+#include "circuits/catalog.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/fanout.hpp"
+#include "netlist/stats.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace gdf {
+namespace {
+
+class CatalogRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogRoundTrip, BenchWriteParsePreservesStats) {
+  const net::Netlist original = circuits::load_circuit(GetParam());
+  const net::Netlist reparsed =
+      net::parse_bench(net::write_bench(original), original.name());
+  const net::NetlistStats a = net::compute_stats(original);
+  const net::NetlistStats b = net::compute_stats(reparsed);
+  EXPECT_EQ(a.primary_inputs, b.primary_inputs);
+  EXPECT_EQ(a.primary_outputs, b.primary_outputs);
+  EXPECT_EQ(a.flip_flops, b.flip_flops);
+  EXPECT_EQ(a.logic_gates, b.logic_gates);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.fanout_stems, b.fanout_stems);
+}
+
+TEST_P(CatalogRoundTrip, BenchRoundTripPreservesBehaviour) {
+  const net::Netlist original = circuits::load_circuit(GetParam());
+  const net::Netlist reparsed =
+      net::parse_bench(net::write_bench(original), original.name());
+  sim::SeqSimulator sim_a(original);
+  sim::SeqSimulator sim_b(reparsed);
+  Rng rng(GetParam().size() + 99);
+  sim::StateVec state_a(original.dffs().size(), sim::Lv::Zero);
+  sim::StateVec state_b = state_a;
+  std::vector<sim::Lv> lines_a, lines_b;
+  for (int frame = 0; frame < 6; ++frame) {
+    sim::InputVec pis(original.inputs().size());
+    for (sim::Lv& v : pis) {
+      v = rng.next_bool() ? sim::Lv::One : sim::Lv::Zero;
+    }
+    sim_a.eval_frame(pis, state_a, lines_a);
+    sim_b.eval_frame(pis, state_b, lines_b);
+    EXPECT_EQ(sim_a.outputs(lines_a), sim_b.outputs(lines_b))
+        << GetParam() << " frame " << frame;
+    state_a = sim_a.next_state(lines_a);
+    state_b = sim_b.next_state(lines_b);
+  }
+  EXPECT_EQ(state_a, state_b);
+}
+
+TEST_P(CatalogRoundTrip, FanoutExpansionPreservesBehaviour) {
+  const net::Netlist original = circuits::load_circuit(GetParam());
+  const net::Netlist expanded = net::expand_fanout_branches(original);
+  // Interface is untouched.
+  ASSERT_EQ(expanded.inputs().size(), original.inputs().size());
+  ASSERT_EQ(expanded.outputs().size(), original.outputs().size());
+  ASSERT_EQ(expanded.dffs().size(), original.dffs().size());
+  // Behaviour is identical on random binary stimulus.
+  sim::SeqSimulator sim_a(original);
+  sim::SeqSimulator sim_b(expanded);
+  Rng rng(GetParam().size() + 7);
+  sim::StateVec state_a(original.dffs().size(), sim::Lv::Zero);
+  sim::StateVec state_b = state_a;
+  std::vector<sim::Lv> lines_a, lines_b;
+  for (int frame = 0; frame < 6; ++frame) {
+    sim::InputVec pis(original.inputs().size());
+    for (sim::Lv& v : pis) {
+      v = rng.next_bool() ? sim::Lv::One : sim::Lv::Zero;
+    }
+    sim_a.eval_frame(pis, state_a, lines_a);
+    sim_b.eval_frame(pis, state_b, lines_b);
+    EXPECT_EQ(sim_a.outputs(lines_a), sim_b.outputs(lines_b));
+    state_a = sim_a.next_state(lines_a);
+    state_b = sim_b.next_state(lines_b);
+  }
+}
+
+TEST_P(CatalogRoundTrip, ModelAgreesWithGateLevelSimulation) {
+  // The decomposed two-frame model, evaluated with singleton steady
+  // values, must agree with the gate-level simulator in both frames.
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::load_circuit(GetParam()));
+  const alg::AtpgModel model(nl);
+  const alg::TwoFrameSim frame_sim(model, alg::robust_algebra());
+  sim::SeqSimulator gate_sim(nl);
+  Rng rng(GetParam().size() + 13);
+
+  sim::InputVec v1(nl.inputs().size()), v2(nl.inputs().size());
+  sim::StateVec s0(nl.dffs().size());
+  for (auto* vec : {&v1, &v2}) {
+    for (sim::Lv& v : *vec) {
+      v = rng.next_bool() ? sim::Lv::One : sim::Lv::Zero;
+    }
+  }
+  for (sim::Lv& v : s0) {
+    v = rng.next_bool() ? sim::Lv::One : sim::Lv::Zero;
+  }
+  std::vector<sim::Lv> frame1;
+  gate_sim.eval_frame(v1, s0, frame1);
+  const sim::StateVec s1 = gate_sim.next_state(frame1);
+  std::vector<sim::Lv> frame2;
+  gate_sim.eval_frame(v2, s1, frame2);
+
+  alg::TwoFrameStimulus stimulus;
+  const auto bit = [](sim::Lv v) { return v == sim::Lv::One ? 1 : 0; };
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    stimulus.pi_sets.push_back(
+        alg::vset_primary_from_frames(bit(v1[i]), bit(v2[i])));
+  }
+  for (std::size_t k = 0; k < s0.size(); ++k) {
+    stimulus.ppi_sets.push_back(
+        alg::vset_primary_from_frames(bit(s0[k]), bit(s1[k])));
+  }
+  std::vector<alg::VSet> sets;
+  frame_sim.run(stimulus, nullptr, sets);
+
+  for (net::GateId g = 0; g < nl.size(); ++g) {
+    const alg::VSet s = sets[model.head_of(g)];
+    ASSERT_TRUE(alg::vset_is_singleton(s)) << nl.gate(g).name;
+    const alg::V8 v = alg::vset_only(s);
+    EXPECT_EQ(alg::v8_initial(v), bit(frame1[g])) << nl.gate(g).name;
+    EXPECT_EQ(alg::v8_final(v), bit(frame2[g])) << nl.gate(g).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCircuits, CatalogRoundTrip,
+    ::testing::ValuesIn(gdf::circuits::catalog_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace gdf

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "algebra/frame_sim.hpp"
+#include "circuits/catalog.hpp"
+#include "circuits/embedded.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/fanout.hpp"
+#include "tdgen/fault.hpp"
+#include "tdgen/local_test.hpp"
+#include "tdgen/tdgen.hpp"
+
+namespace gdf::tdgen {
+namespace {
+
+using alg::AtpgModel;
+using alg::kCarrierSet;
+using alg::robust_algebra;
+using alg::V8;
+using alg::VSet;
+
+TEST(FaultListTest, S27ExpandedCounts) {
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::make_s27());
+  // 17 stems (4 PI + 3 FF + 10 gates) + 9 branches = 26 lines, 52 faults.
+  const auto faults = enumerate_faults(nl);
+  EXPECT_EQ(faults.size(), 52u);
+  // StR before StF per line, line order ascending.
+  EXPECT_TRUE(faults[0].slow_to_rise);
+  EXPECT_FALSE(faults[1].slow_to_rise);
+  EXPECT_EQ(faults[0].line, faults[1].line);
+}
+
+TEST(FaultListTest, OptionsFilterSites) {
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::make_s27());
+  FaultListOptions no_branches;
+  no_branches.include_branches = false;
+  EXPECT_EQ(enumerate_faults(nl, no_branches).size(), 34u);  // 17 stems
+  FaultListOptions logic_only;
+  logic_only.include_pi_lines = false;
+  logic_only.include_ppi_lines = false;
+  logic_only.include_branches = false;
+  EXPECT_EQ(enumerate_faults(nl, logic_only).size(), 20u);  // 10 gates
+}
+
+TEST(FaultListTest, Names) {
+  const net::Netlist nl = circuits::make_s27();
+  EXPECT_EQ(fault_name(nl, {nl.find("G11"), true}), "G11 StR");
+  EXPECT_EQ(fault_name(nl, {nl.find("G8"), false}), "G8 StF");
+}
+
+class C17Tdgen : public ::testing::Test {
+ protected:
+  C17Tdgen()
+      : nl_(net::expand_fanout_branches(circuits::make_c17())),
+        model_(nl_) {}
+
+  net::Netlist nl_;
+  AtpgModel model_;
+};
+
+TEST_F(C17Tdgen, FindsTestForKnownFault) {
+  // Slow-to-rise at N11 — the worked example of the frame-sim tests.
+  TdgenSearch search(model_, robust_algebra(), {nl_.find("N11"), true});
+  LocalTest test;
+  ASSERT_EQ(search.next(&test), TdgenStatus::TestFound);
+  EXPECT_FALSE(test.observed.empty());
+  EXPECT_TRUE(test.observed_at_po);  // c17 has no flip-flops
+
+  // Independent verification: inject the fault and simulate.
+  alg::TwoFrameSim sim(model_, robust_algebra());
+  alg::TwoFrameStimulus stim{test.pi_sets, test.ppi_sets};
+  const alg::FaultSpec spec{model_.head_of(nl_.find("N11")), true};
+  EXPECT_TRUE(sim.guaranteed_observation(stim, spec, nullptr));
+}
+
+TEST_F(C17Tdgen, EveryFaultGetsVerifiedTestOrProof) {
+  // c17 is fully robustly testable for stem and branch delay faults; every
+  // search must end in a verified test, and none may abort.
+  alg::TwoFrameSim sim(model_, robust_algebra());
+  int found = 0;
+  for (const DelayFault& f : enumerate_faults(nl_)) {
+    TdgenSearch search(model_, robust_algebra(), f);
+    LocalTest test;
+    const TdgenStatus status = search.next(&test);
+    ASSERT_NE(status, TdgenStatus::Aborted) << fault_name(nl_, f);
+    if (status == TdgenStatus::TestFound) {
+      ++found;
+      alg::TwoFrameStimulus stim{test.pi_sets, test.ppi_sets};
+      const alg::FaultSpec spec{model_.head_of(f.line), f.slow_to_rise};
+      EXPECT_TRUE(sim.guaranteed_observation(stim, spec, nullptr))
+          << fault_name(nl_, f);
+    }
+  }
+  // All 34 c17 delay faults are robustly testable.
+  EXPECT_EQ(found, 34);
+}
+
+TEST_F(C17Tdgen, EnumerationYieldsDistinctVerifiedTests) {
+  TdgenSearch search(model_, robust_algebra(), {nl_.find("N22"), false});
+  LocalTest first, second;
+  ASSERT_EQ(search.next(&first), TdgenStatus::TestFound);
+  const TdgenStatus status = search.next(&second);
+  if (status == TdgenStatus::TestFound) {
+    EXPECT_TRUE(first.pi_sets != second.pi_sets ||
+                first.ppi_sets != second.ppi_sets);
+  } else {
+    EXPECT_EQ(status, TdgenStatus::Untestable);  // enumeration may just end
+  }
+}
+
+TEST(TdgenRedundant, UntestableFaultProven) {
+  // y = AND(a, NOT a) is constant 0: its output can never rise, so StR at
+  // y has no activating transition and must be proven untestable.
+  net::NetlistBuilder b("const0");
+  b.input("a");
+  b.output("y");
+  b.gate("an", net::GateType::Not, {"a"});
+  b.gate("y", net::GateType::And, {"a", "an"});
+  const net::Netlist nl = net::expand_fanout_branches(b.build());
+  const AtpgModel model(nl);
+  TdgenSearch search(model, robust_algebra(), {nl.find("y"), true});
+  LocalTest test;
+  EXPECT_EQ(search.next(&test), TdgenStatus::Untestable);
+}
+
+TEST(TdgenRedundant, RobustlyUntestableBySideInput) {
+  // y = AND(a, b) where b = AND(a, c): a falling fault effect on b's path
+  // needs a steady 1 on the other AND input... with a shared driver `a`
+  // the off-path cannot be steady while the on-path falls through `a`.
+  // StF at line `a` observed through y is still testable via b? This case
+  // documents that the engine proves *something* (found or untestable)
+  // without aborting on tiny circuits.
+  net::NetlistBuilder b("recon");
+  b.input("a");
+  b.input("c");
+  b.output("y");
+  b.gate("b", net::GateType::And, {"a", "c"});
+  b.gate("y", net::GateType::And, {"a", "b"});
+  const net::Netlist nl = net::expand_fanout_branches(b.build());
+  const AtpgModel model(nl);
+  for (const DelayFault& f : enumerate_faults(nl)) {
+    TdgenSearch search(model, robust_algebra(), f);
+    LocalTest test;
+    EXPECT_NE(search.next(&test), TdgenStatus::Aborted)
+        << fault_name(nl, f);
+  }
+}
+
+class S27Tdgen : public ::testing::Test {
+ protected:
+  S27Tdgen()
+      : nl_(net::expand_fanout_branches(circuits::make_s27())),
+        model_(nl_) {}
+
+  net::Netlist nl_;
+  AtpgModel model_;
+};
+
+TEST_F(S27Tdgen, LocalSearchTerminatesForAllFaults) {
+  alg::TwoFrameSim sim(model_, robust_algebra());
+  int found = 0, untestable = 0, aborted = 0;
+  for (const DelayFault& f : enumerate_faults(nl_)) {
+    TdgenSearch search(model_, robust_algebra(), f);
+    LocalTest test;
+    switch (search.next(&test)) {
+      case TdgenStatus::TestFound: {
+        ++found;
+        alg::TwoFrameStimulus stim{test.pi_sets, test.ppi_sets};
+        const alg::FaultSpec spec{model_.head_of(f.line), f.slow_to_rise};
+        EXPECT_TRUE(sim.guaranteed_observation(stim, spec, nullptr))
+            << fault_name(nl_, f);
+        break;
+      }
+      case TdgenStatus::Untestable:
+        ++untestable;
+        break;
+      case TdgenStatus::Aborted:
+        ++aborted;
+        break;
+    }
+  }
+  // The local (combinational) pass finds tests for most s27 faults.
+  EXPECT_GT(found, 30);
+  EXPECT_EQ(found + untestable + aborted, 52);
+  EXPECT_EQ(aborted, 0);
+}
+
+TEST_F(S27Tdgen, RegisterCorrelationRespected) {
+  // For every found local test, the required S1 (PPI finals) must be
+  // producible by the PPO initials — the register truth-table constraint.
+  for (const DelayFault& f : enumerate_faults(nl_)) {
+    TdgenSearch search(model_, robust_algebra(), f);
+    LocalTest test;
+    if (search.next(&test) != TdgenStatus::TestFound) {
+      continue;
+    }
+    for (std::size_t k = 0; k < test.ppi_sets.size(); ++k) {
+      const unsigned fins = alg::vset_finals(test.ppi_sets[k]);
+      const unsigned inits = alg::vset_initials(test.ppo_sets[k]);
+      EXPECT_NE(fins & inits, 0u)
+          << fault_name(nl_, f) << " ff " << k;
+    }
+  }
+}
+
+TEST_F(S27Tdgen, PinForcesSteadyPpo) {
+  // Find a fault whose unpinned solution leaves PPO 0 non-steady, then pin
+  // it and require the solution to deliver a steady clean value.
+  const DelayFault f{nl_.find("G13"), true};
+  TdgenSearch pinned(model_, robust_algebra(), f);
+  pinned.pin_ppo(1, alg::vset_of(V8::Zero));  // G11's flip-flop
+  LocalTest test;
+  const TdgenStatus status = pinned.next(&test);
+  if (status == TdgenStatus::TestFound) {
+    EXPECT_EQ(classify_ppo(test.ppo_sets[1]), PpoKind::Known0);
+  } else {
+    EXPECT_NE(status, TdgenStatus::Aborted);
+  }
+}
+
+TEST_F(S27Tdgen, RequiredObservationHonored) {
+  const DelayFault f{nl_.find("G13"), true};
+  // G13 feeds only DFF G7 (ppo index 2): require observation exactly there.
+  TdgenSearch search(model_, robust_algebra(), f);
+  search.require_observation(model_.ppo_node(2));
+  LocalTest test;
+  ASSERT_EQ(search.next(&test), TdgenStatus::TestFound);
+  EXPECT_EQ(classify_ppo(test.ppo_sets[2]), PpoKind::FaultD);
+  EXPECT_FALSE(test.observed_at_po);
+  ASSERT_EQ(test.observed_ppos.size(), 1u);
+  EXPECT_EQ(test.observed_ppos[0], 2u);
+}
+
+TEST(LocalTestHelpers, VectorsAndState) {
+  LocalTest t;
+  t.pi_sets = {alg::vset_of(V8::Rise), alg::vset_of(V8::Zero),
+               alg::kPrimaryDomain};
+  t.ppi_sets = {alg::vset_of(V8::One),
+                static_cast<VSet>(alg::vset_of(V8::Zero) |
+                                  alg::vset_of(V8::Rise))};
+  const auto v1 = initial_frame_pis(t);
+  EXPECT_EQ(v1, (std::vector<int>{0, 0, -1}));
+  const auto v2 = test_frame_pis(t);
+  EXPECT_EQ(v2, (std::vector<int>{1, 0, -1}));
+  const auto s0 = required_initial_state(t);
+  EXPECT_EQ(s0, (std::vector<int>{1, 0}));
+}
+
+TEST(LocalTestHelpers, ClassifyPpo) {
+  EXPECT_EQ(classify_ppo(alg::vset_of(V8::Zero)), PpoKind::Known0);
+  EXPECT_EQ(classify_ppo(alg::vset_of(V8::One)), PpoKind::Known1);
+  EXPECT_EQ(classify_ppo(alg::vset_of(V8::RiseC)), PpoKind::FaultD);
+  EXPECT_EQ(classify_ppo(alg::vset_of(V8::FallC)), PpoKind::FaultDbar);
+  EXPECT_EQ(classify_ppo(alg::vset_of(V8::Rise)), PpoKind::Unknown);
+  EXPECT_EQ(classify_ppo(alg::vset_of(V8::ZeroH)), PpoKind::Unknown);
+  EXPECT_EQ(classify_ppo(static_cast<VSet>(alg::vset_of(V8::Zero) |
+                                           alg::vset_of(V8::One))),
+            PpoKind::Unknown);
+}
+
+TEST(TdgenNonRobust, RelaxedModeFindsAtLeastAsMany) {
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::make_s27());
+  const AtpgModel model(nl);
+  int robust_found = 0, nonrobust_found = 0;
+  for (const DelayFault& f : enumerate_faults(nl)) {
+    LocalTest test;
+    TdgenSearch r(model, robust_algebra(), f);
+    if (r.next(&test) == TdgenStatus::TestFound) {
+      ++robust_found;
+    }
+    TdgenSearch n(model, alg::nonrobust_algebra(), f);
+    if (n.next(&test) == TdgenStatus::TestFound) {
+      ++nonrobust_found;
+    }
+  }
+  EXPECT_GE(nonrobust_found, robust_found);
+}
+
+}  // namespace
+}  // namespace gdf::tdgen

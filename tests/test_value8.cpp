@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "algebra/value8.hpp"
+#include "algebra/value_set.hpp"
+
+namespace gdf::alg {
+namespace {
+
+TEST(V8Test, Names) {
+  EXPECT_EQ(v8_name(V8::Zero), "0");
+  EXPECT_EQ(v8_name(V8::OneH), "1h");
+  EXPECT_EQ(v8_name(V8::RiseC), "Rc");
+  EXPECT_EQ(v8_name(V8::FallC), "Fc");
+}
+
+TEST(V8Test, FrameComponents) {
+  EXPECT_EQ(v8_initial(V8::Rise), 0);
+  EXPECT_EQ(v8_final(V8::Rise), 1);
+  EXPECT_EQ(v8_initial(V8::Fall), 1);
+  EXPECT_EQ(v8_final(V8::Fall), 0);
+  EXPECT_EQ(v8_initial(V8::ZeroH), 0);
+  EXPECT_EQ(v8_final(V8::ZeroH), 0);
+  EXPECT_EQ(v8_initial(V8::RiseC), 0);
+  EXPECT_EQ(v8_final(V8::RiseC), 1);
+}
+
+TEST(V8Test, FaultyFinals) {
+  // Slow-to-rise still low at the fast sample, slow-to-fall still high.
+  EXPECT_EQ(v8_final_faulty(V8::RiseC), 0);
+  EXPECT_EQ(v8_final_faulty(V8::FallC), 1);
+  EXPECT_EQ(v8_final_faulty(V8::Rise), 1);
+  EXPECT_EQ(v8_final_faulty(V8::One), 1);
+}
+
+TEST(V8Test, Classification) {
+  EXPECT_TRUE(v8_is_carrier(V8::RiseC));
+  EXPECT_TRUE(v8_is_carrier(V8::FallC));
+  EXPECT_FALSE(v8_is_carrier(V8::Rise));
+  EXPECT_TRUE(v8_has_hazard(V8::ZeroH));
+  EXPECT_FALSE(v8_has_hazard(V8::Zero));
+  EXPECT_TRUE(v8_is_transition(V8::FallC));
+  EXPECT_FALSE(v8_is_transition(V8::OneH));
+}
+
+TEST(VSetTest, BasicOps) {
+  const VSet s = vset_of(V8::Zero) | vset_of(V8::RiseC);
+  EXPECT_TRUE(vset_contains(s, V8::Zero));
+  EXPECT_FALSE(vset_contains(s, V8::One));
+  EXPECT_EQ(vset_size(s), 2);
+  EXPECT_FALSE(vset_is_singleton(s));
+  EXPECT_TRUE(vset_is_singleton(vset_of(V8::Fall)));
+  EXPECT_EQ(vset_only(vset_of(V8::Fall)), V8::Fall);
+  EXPECT_EQ(vset_first(s), V8::Zero);
+}
+
+TEST(VSetTest, PrimaryDomainExcludesHazardsAndCarriers) {
+  EXPECT_TRUE(vset_contains(kPrimaryDomain, V8::Zero));
+  EXPECT_TRUE(vset_contains(kPrimaryDomain, V8::Rise));
+  EXPECT_FALSE(vset_contains(kPrimaryDomain, V8::ZeroH));
+  EXPECT_FALSE(vset_contains(kPrimaryDomain, V8::RiseC));
+  EXPECT_EQ(static_cast<VSet>(kCarrierSet | kCleanSet), kFullSet);
+  EXPECT_EQ(static_cast<VSet>(kCarrierSet & kCleanSet), kEmptySet);
+}
+
+TEST(VSetTest, InitialAndFinalMasks) {
+  const VSet s = vset_of(V8::Rise) | vset_of(V8::One);
+  EXPECT_EQ(vset_initials(s), 0b11u);  // R starts 0, 1 starts 1
+  EXPECT_EQ(vset_finals(s), 0b10u);    // both end 1
+}
+
+TEST(VSetTest, FilterByInitial) {
+  const VSet s = kPrimaryDomain;
+  EXPECT_EQ(vset_with_initial_in(s, 0b01),
+            static_cast<VSet>(vset_of(V8::Zero) | vset_of(V8::Rise)));
+  EXPECT_EQ(vset_with_initial_in(s, 0b10),
+            static_cast<VSet>(vset_of(V8::One) | vset_of(V8::Fall)));
+  EXPECT_EQ(vset_with_initial_in(s, 0b11), s);
+  EXPECT_EQ(vset_with_initial_in(s, 0), kEmptySet);
+}
+
+TEST(VSetTest, FilterByFinal) {
+  const VSet s = kPrimaryDomain;
+  EXPECT_EQ(vset_with_final_in(s, 0b10),
+            static_cast<VSet>(vset_of(V8::One) | vset_of(V8::Rise)));
+  EXPECT_EQ(vset_with_final_in(s, 0b01),
+            static_cast<VSet>(vset_of(V8::Zero) | vset_of(V8::Fall)));
+}
+
+TEST(VSetTest, ToString) {
+  EXPECT_EQ(vset_to_string(vset_of(V8::Zero) | vset_of(V8::FallC)),
+            "{0,Fc}");
+  EXPECT_EQ(vset_to_string(kEmptySet), "{}");
+}
+
+}  // namespace
+}  // namespace gdf::alg
