@@ -52,7 +52,13 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 
 std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
   GDF_ASSERT(lo <= hi, "next_in requires lo <= hi");
-  return lo + next_below(hi - lo + 1);
+  const std::uint64_t span = hi - lo;
+  if (span == UINT64_MAX) {
+    // Full 64-bit domain: span + 1 would wrap to 0 and trip next_below's
+    // assertion; every raw draw is admissible.
+    return next();
+  }
+  return lo + next_below(span + 1);
 }
 
 bool Rng::next_bool() { return (next() & 1) != 0; }

@@ -1,0 +1,132 @@
+#include "cli/args.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace gdf::cli {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  check(ec == std::errc() && ptr == last && !text.empty(),
+        flag + " expects a non-negative integer, got '" + text + "'");
+  return value;
+}
+
+int parse_int(const std::string& flag, const std::string& text) {
+  const std::uint64_t value = parse_u64(flag, text);
+  check(value <= 1000000000ULL, flag + " value out of range: " + text);
+  return static_cast<int>(value);
+}
+
+double parse_seconds(const std::string& flag, const std::string& text) {
+  std::istringstream is(text);
+  double value = 0.0;
+  is >> value;
+  check(static_cast<bool>(is) && is.eof() && value >= 0.0,
+        flag + " expects a non-negative number of seconds, got '" + text +
+            "'");
+  return value;
+}
+
+}  // namespace
+
+DriverConfig parse_args(int argc, const char* const* argv) {
+  DriverConfig config;
+  auto value_of = [&](int& i, const std::string& flag) -> std::string {
+    check(i + 1 < argc, flag + " requires a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      config.help = true;
+    } else if (arg == "--circuit" || arg == "-c") {
+      config.circuits.push_back(value_of(i, arg));
+    } else if (arg == "--all") {
+      config.all = true;
+    } else if (arg == "--list") {
+      config.list_only = true;
+    } else if (arg == "--csv") {
+      config.csv = true;
+    } else if (arg == "--stages") {
+      config.stage_stats = true;
+    } else if (arg == "--non-robust") {
+      config.atpg.mode = alg::Mode::NonRobust;
+    } else if (arg == "--local-backtracks") {
+      config.atpg.local.backtrack_limit = parse_int(arg, value_of(i, arg));
+    } else if (arg == "--seq-backtracks") {
+      config.atpg.sequential.backtrack_limit =
+          parse_int(arg, value_of(i, arg));
+    } else if (arg == "--decision-limit") {
+      const int limit = parse_int(arg, value_of(i, arg));
+      config.atpg.local.decision_limit = limit;
+      config.atpg.sequential.decision_limit = limit;
+    } else if (arg == "--per-fault-seconds") {
+      config.atpg.per_fault_seconds = parse_seconds(arg, value_of(i, arg));
+    } else if (arg == "--seed") {
+      config.atpg.fill_seed = parse_u64(arg, value_of(i, arg));
+    } else if (arg == "--no-fault-dropping") {
+      config.atpg.fault_dropping = false;
+    } else if (arg == "--no-branch-faults") {
+      config.atpg.fault_sites.include_branches = false;
+      config.atpg.expand_branches = false;
+    } else {
+      throw Error("unknown option '" + arg + "' (see gdf_atpg --help)");
+    }
+  }
+  check(!(config.all && !config.circuits.empty()),
+        "--all and --circuit are mutually exclusive");
+  check(config.help || config.list_only || config.all ||
+            !config.circuits.empty(),
+        "nothing to do: pass --circuit NAME, --all, or --list "
+        "(see gdf_atpg --help)");
+  return config;
+}
+
+std::string usage() {
+  return
+      "gdf_atpg — robust gate delay fault test generation for non-scan\n"
+      "circuits (van Brakel, Gläser, Kerkhoff, Vierhaus, DATE 1995).\n"
+      "\n"
+      "usage: gdf_atpg (--circuit NAME)... | --all | --list [options]\n"
+      "\n"
+      "selection:\n"
+      "  -c, --circuit NAME      run one catalog circuit (repeatable)\n"
+      "      --all               sweep the full circuit catalog\n"
+      "      --list              print catalog circuit names and exit\n"
+      "\n"
+      "flow configuration (defaults = paper setup):\n"
+      "      --non-robust        non-robust algebra (§7 outlook / ablation)\n"
+      "      --local-backtracks N   TDgen abort limit        [100]\n"
+      "      --seq-backtracks N     SEMILET abort limit      [100]\n"
+      "      --decision-limit N     safety net, both engines [200000]\n"
+      "      --per-fault-seconds S  wall-clock cap per fault [off]\n"
+      "      --seed N            RNG seed for X-fill         [1995]\n"
+      "      --no-fault-dropping disable dropping via fault simulation\n"
+      "      --no-branch-faults  gate outputs only, no fanout branches\n"
+      "\n"
+      "output:\n"
+      "      --csv               CSV rows instead of the Table-3 text table\n"
+      "      --stages            per-circuit Figure-4 stage counters\n"
+      "  -h, --help              this message\n";
+}
+
+std::string csv_header() {
+  return "circuit,tested,untestable,aborted,patterns,seconds";
+}
+
+std::string format_csv_row(const core::Table3Row& row) {
+  std::ostringstream os;
+  os << row.circuit << ',' << row.tested << ',' << row.untestable << ','
+     << row.aborted << ',' << row.patterns << ',' << row.seconds;
+  return os.str();
+}
+
+}  // namespace gdf::cli

@@ -1,0 +1,39 @@
+// Command-line handling for the gdf_atpg driver: option definitions, the
+// parsed configuration, and the CSV/text renderers. Kept out of main() so
+// the parsing rules are unit-testable and reusable by future drivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/report.hpp"
+
+namespace gdf::cli {
+
+/// Everything a gdf_atpg invocation asks for. Defaults reproduce the
+/// paper's setup (robust algebra, 100/100 backtrack limits, fault
+/// dropping), so `gdf_atpg --circuit s27` matches examples/quickstart.
+struct DriverConfig {
+  std::vector<std::string> circuits;  ///< empty + !all => error
+  bool all = false;                   ///< sweep the whole catalog
+  bool list_only = false;             ///< print catalog names and exit
+  bool csv = false;                   ///< CSV rows instead of the text table
+  bool stage_stats = false;           ///< per-circuit Figure-4 counters
+  bool help = false;                  ///< usage requested
+  core::AtpgOptions atpg;             ///< flow configuration
+};
+
+/// Parses argv (argv[0] is skipped). Throws gdf::Error with a user-facing
+/// message on unknown flags, missing values, or malformed numbers.
+DriverConfig parse_args(int argc, const char* const* argv);
+
+/// The --help text.
+std::string usage();
+
+/// "circuit,tested,untestable,aborted,patterns,seconds"
+std::string csv_header();
+std::string format_csv_row(const core::Table3Row& row);
+
+}  // namespace gdf::cli

@@ -1,0 +1,73 @@
+// gdf_atpg — the command-line driver over the full FOGBUSTER flow.
+//
+//   gdf_atpg --circuit s27          one Table-3 row, text layout
+//   gdf_atpg --all --csv            sweep the catalog, CSV rows
+//   gdf_atpg --circuit s298 --non-robust --seq-backtracks 500 --stages
+//
+// Exit status: 0 on success, 1 on a user-facing error (unknown circuit or
+// option), 2 on an internal failure.
+#include <cstdio>
+#include <exception>
+
+#include "base/error.hpp"
+#include "circuits/catalog.hpp"
+#include "cli/args.hpp"
+#include "core/delay_atpg.hpp"
+
+namespace gdf::cli {
+namespace {
+
+int run(const DriverConfig& config) {
+  if (config.help) {
+    std::printf("%s", usage().c_str());
+    return 0;
+  }
+  if (config.list_only) {
+    for (const std::string& name : circuits::catalog_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> names =
+      config.all ? circuits::catalog_names() : config.circuits;
+  // Validate every name up front so a typo late in the list doesn't waste
+  // a long sweep.
+  std::vector<net::Netlist> circuits;
+  circuits.reserve(names.size());
+  for (const std::string& name : names) {
+    circuits.push_back(circuits::load_circuit(name));
+  }
+
+  std::printf("%s\n",
+              (config.csv ? csv_header() : core::table3_header()).c_str());
+  for (const net::Netlist& circuit : circuits) {
+    const core::FogbusterResult result =
+        core::run_delay_atpg(circuit, config.atpg);
+    const core::Table3Row row =
+        core::make_table3_row(circuit.name(), result);
+    std::printf("%s\n", (config.csv ? format_csv_row(row)
+                                    : core::format_table3_row(row))
+                            .c_str());
+    if (config.stage_stats) {
+      std::printf("%s\n", core::format_stage_stats(result.stages).c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gdf::cli
+
+int main(int argc, char** argv) {
+  try {
+    return gdf::cli::run(gdf::cli::parse_args(argc, argv));
+  } catch (const gdf::Error& e) {
+    std::fprintf(stderr, "gdf_atpg: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gdf_atpg: internal error: %s\n", e.what());
+    return 2;
+  }
+}

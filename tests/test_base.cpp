@@ -65,6 +65,22 @@ TEST(Rng, NextInInclusiveBounds) {
   }
 }
 
+TEST(Rng, NextInFullDomainDoesNotOverflow) {
+  // Regression: next_in(0, UINT64_MAX) used to compute next_below(0) via
+  // wrap-around and trip the assertion.
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(rng.next_in(0, UINT64_MAX));
+  }
+  EXPECT_GT(seen.size(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(rng.next_in(1, UINT64_MAX), 1u);
+    EXPECT_LE(rng.next_in(0, UINT64_MAX - 1), UINT64_MAX - 1);
+  }
+  EXPECT_EQ(rng.next_in(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+}
+
 TEST(Rng, PercentZeroAndHundred) {
   Rng rng(13);
   for (int i = 0; i < 100; ++i) {

@@ -54,7 +54,7 @@ INSTANTIATE_TEST_SUITE_P(Circuits, GeneratedCircuitFlow,
 TEST(GeneratedCircuitSync, SynchronizerResultsReplayOnAllCircuits) {
   // For every circuit: synchronize a couple of single-bit requirements and
   // replay the sequence from all-X; established bits must hold.
-  for (const std::string& name : {"s208", "s298", "s386", "s420"}) {
+  for (const char* name : {"s208", "s298", "s386", "s420"}) {
     const net::Netlist nl = circuits::load_circuit(name);
     semilet::SemiletOptions options;
     sim::SeqSimulator simulator(nl);
