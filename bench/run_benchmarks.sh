@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Perf-trajectory tracker: runs the full-catalog ATPG sweep plus the
+# simulation micro-benchmarks and emits BENCH_simulation.json with
+# per-circuit wall times. Run from the repo root after building:
+#
+#   bench/run_benchmarks.sh [BUILD_DIR] [OUTPUT_JSON]
+#
+# Wired into CI as a non-gating job so every PR records where the hot path
+# stands; compare the JSON against the previous run to see the trend.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUTPUT=${2:-BENCH_simulation.json}
+
+GDF_ATPG="$BUILD_DIR/src/gdf_atpg"
+MICRO_SIM="$BUILD_DIR/bench/micro_simulation"
+
+if [[ ! -x "$GDF_ATPG" ]]; then
+  echo "run_benchmarks: $GDF_ATPG not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+echo "run_benchmarks: sweeping the catalog with $GDF_ATPG ..." >&2
+CSV=$("$GDF_ATPG" --all --csv)
+
+MICRO_JSON="null"
+if [[ -x "$MICRO_SIM" ]]; then
+  echo "run_benchmarks: running micro_simulation ..." >&2
+  MICRO_JSON=$("$MICRO_SIM" --benchmark_format=json 2>/dev/null |
+    python3 -c 'import json,sys; d=json.load(sys.stdin); print(json.dumps(d.get("benchmarks", [])))')
+else
+  echo "run_benchmarks: micro_simulation not built (Google Benchmark" \
+       "missing) — skipping" >&2
+fi
+
+CSV="$CSV" python3 - "$OUTPUT" "$MICRO_JSON" <<'EOF'
+import json
+import os
+import sys
+
+output_path = sys.argv[1]
+micro = json.loads(sys.argv[2])
+
+lines = [l for l in os.environ["CSV"].splitlines() if l.strip()]
+header = lines[0].split(",")
+circuits = []
+total = 0.0
+for line in lines[1:]:
+    row = dict(zip(header, line.split(",")))
+    seconds = float(row["seconds"])
+    total += seconds
+    circuits.append({
+        "circuit": row["circuit"],
+        "tested": int(row["tested"]),
+        "untestable": int(row["untestable"]),
+        "aborted": int(row["aborted"]),
+        "patterns": int(row["patterns"]),
+        "seconds": seconds,
+    })
+
+report = {
+    "benchmark": "gdf_atpg --all --csv",
+    "total_seconds": round(total, 3),
+    "circuits": circuits,
+    "micro_simulation": micro,
+}
+with open(output_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"run_benchmarks: wrote {output_path} "
+      f"(catalog total {total:.1f}s)", file=sys.stderr)
+EOF

@@ -1,5 +1,7 @@
 #include "algebra/frame_sim.hpp"
 
+#include <algorithm>
+
 #include "base/error.hpp"
 
 namespace gdf::alg {
@@ -16,6 +18,61 @@ VSet vset_primary_from_frames(int initial_bit, int final_bit) {
   return out;
 }
 
+namespace {
+
+/// One non-source node evaluation over already-settled input sets. `b` is
+/// ignored for unary kinds.
+inline VSet eval_node(const DelayAlgebra& algebra, NodeKind kind, VSet a,
+                      VSet b) {
+  switch (kind) {
+    case NodeKind::Buf:
+      return a;
+    case NodeKind::Not:
+      return algebra.set_not(a);
+    case NodeKind::And2:
+      return algebra.set_fwd(Op2::And, a, b);
+    case NodeKind::Or2:
+      return algebra.set_fwd(Op2::Or, a, b);
+    case NodeKind::Xor2:
+      return algebra.set_fwd(Op2::Xor, a, b);
+    case NodeKind::Pi:
+    case NodeKind::Ppi:
+      break;
+  }
+  return kEmptySet;
+}
+
+}  // namespace
+
+void TwoFrameSim::replay_cone(NodeId from,
+                              std::vector<VSet>& node_sets) const {
+  const AtpgModel& m = *model_;
+  const std::size_t n_nodes = m.node_count();
+  const NodeKind* kinds = m.kinds().data();
+  const NodeId* in0s = m.in0s().data();
+  const NodeId* in1s = m.in1s().data();
+  VSet* sets = node_sets.data();
+  dirty_scratch_.assign(n_nodes, 0);
+  std::uint8_t* dirty = dirty_scratch_.data();
+  dirty[from] = 1;
+  for (NodeId id = from + 1; id < n_nodes; ++id) {
+    const NodeKind kind = kinds[id];
+    if (kind == NodeKind::Pi || kind == NodeKind::Ppi) {
+      continue;
+    }
+    const NodeId in0 = in0s[id];
+    const NodeId in1 = in1s[id];
+    const bool affected =
+        dirty[in0] != 0 || (in1 != kNoNode && dirty[in1] != 0);
+    if (!affected) {
+      continue;
+    }
+    dirty[id] = 1;
+    sets[id] = eval_node(*algebra_, kind, sets[in0],
+                         in1 != kNoNode ? sets[in1] : kEmptySet);
+  }
+}
+
 void TwoFrameSim::run_forced(const TwoFrameStimulus& stimulus, NodeId forced,
                              VSet forced_set,
                              std::vector<VSet>& node_sets) const {
@@ -23,43 +80,148 @@ void TwoFrameSim::run_forced(const TwoFrameStimulus& stimulus, NodeId forced,
   // Re-evaluate the forced node's cone with the overridden value. Nodes
   // outside the cone keep their fault-free sets.
   node_sets[forced] = forced_set;
-  std::vector<bool> dirty(model_->node_count(), false);
-  dirty[forced] = true;
-  for (NodeId id = forced + 1; id < model_->node_count(); ++id) {
+  replay_cone(forced, node_sets);
+}
+
+void TwoFrameSim::run_injected(std::span<const VSet> baseline,
+                               const FaultSpec& fault,
+                               std::vector<VSet>& node_sets) const {
+  GDF_ASSERT(baseline.size() == model_->node_count(),
+             "baseline size mismatch");
+  node_sets.assign(baseline.begin(), baseline.end());
+  const VSet transformed =
+      DelayAlgebra::site_transform(baseline[fault.site], fault.slow_to_rise);
+  if (transformed == baseline[fault.site]) {
+    return;  // no activating transition at the site: the cone is unchanged
+  }
+  node_sets[fault.site] = transformed;
+  replay_cone(fault.site, node_sets);
+}
+
+void TwoFrameSim::rerun_sources(
+    std::span<const std::pair<NodeId, VSet>> changed, const FaultSpec* fault,
+    std::vector<VSet>& node_sets) const {
+  const AtpgModel& m = *model_;
+  const std::size_t n_nodes = m.node_count();
+  GDF_ASSERT(node_sets.size() == n_nodes, "node set size mismatch");
+  const NodeKind* kinds = m.kinds().data();
+  const NodeId* in0s = m.in0s().data();
+  const NodeId* in1s = m.in1s().data();
+  VSet* sets = node_sets.data();
+  const NodeId site = fault != nullptr ? fault->site : kNoNode;
+  dirty_scratch_.assign(n_nodes, 0);
+  std::uint8_t* dirty = dirty_scratch_.data();
+  NodeId first = static_cast<NodeId>(n_nodes);
+  for (const auto& [src, raw] : changed) {
+    VSet v = static_cast<VSet>(raw & kPrimaryDomain);
+    if (src == site) {
+      v = DelayAlgebra::site_transform(v, fault->slow_to_rise);
+    }
+    if (v != sets[src]) {
+      sets[src] = v;
+      dirty[src] = 1;
+      first = std::min(first, src);
+    }
+  }
+  if (first == n_nodes) {
+    return;
+  }
+  for (NodeId id = first + 1; id < n_nodes; ++id) {
+    const NodeKind kind = kinds[id];
+    if (kind == NodeKind::Pi || kind == NodeKind::Ppi) {
+      continue;
+    }
+    const NodeId in0 = in0s[id];
+    const NodeId in1 = in1s[id];
+    if (!dirty[in0] && (in1 == kNoNode || !dirty[in1])) {
+      continue;
+    }
+    VSet out = eval_node(*algebra_, kind, sets[in0],
+                         in1 != kNoNode ? sets[in1] : kEmptySet);
+    if (id == site) {
+      out = DelayAlgebra::site_transform(out, fault->slow_to_rise);
+    }
+    if (out != sets[id]) {
+      sets[id] = out;
+      dirty[id] = 1;
+    }
+  }
+}
+
+unsigned TwoFrameSim::forced_po_carrier_mask(
+    std::span<const VSet> baseline,
+    std::span<const ForcedLane> lanes) const {
+  const std::size_t n_nodes = model_->node_count();
+  GDF_ASSERT(lanes.size() <= 8, "at most 8 scenarios per packed sweep");
+  GDF_ASSERT(baseline.size() == n_nodes, "baseline size mismatch");
+
+  // One byte lane per scenario; dirty[id] is the lane bitmask of scenarios
+  // whose value at `id` differs from the shared baseline. Clean lanes read
+  // the baseline, so the sweep touches only the union of the cones. The
+  // buffers persist across calls (one sweep per stem group).
+  packed_scratch_.assign(n_nodes, 0);
+  dirty_scratch_.assign(n_nodes, 0);
+  forced_scratch_.assign(n_nodes, 0);
+  std::uint64_t* packed = packed_scratch_.data();
+  std::uint8_t* dirty = dirty_scratch_.data();
+  std::uint8_t* forced = forced_scratch_.data();
+  NodeId first = static_cast<NodeId>(n_nodes);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const ForcedLane& lane = lanes[i];
+    GDF_ASSERT(lane.node < n_nodes, "forced node out of range");
+    packed[lane.node] |= std::uint64_t{lane.set} << (8 * i);
+    dirty[lane.node] = static_cast<std::uint8_t>(dirty[lane.node] | 1u << i);
+    forced[lane.node] = static_cast<std::uint8_t>(forced[lane.node] | 1u << i);
+    first = std::min(first, lane.node);
+  }
+  const auto lane_value = [&](NodeId id, unsigned lane) -> VSet {
+    if ((dirty[id] >> lane & 1u) != 0) {
+      return static_cast<VSet>(packed[id] >> (8 * lane));
+    }
+    return baseline[id];
+  };
+  for (NodeId id = first + 1; id < n_nodes; ++id) {
     const Node& n = model_->node(id);
     if (n.source()) {
       continue;
     }
-    const bool affected = dirty[n.in0] ||
-                          (n.in1 != kNoNode && dirty[n.in1]);
-    if (!affected) {
-      continue;
+    std::uint8_t affected = dirty[n.in0];
+    if (n.in1 != kNoNode) {
+      affected = static_cast<std::uint8_t>(affected | dirty[n.in1]);
     }
-    dirty[id] = true;
-    switch (n.kind) {
-      case NodeKind::Buf:
-        node_sets[id] = node_sets[n.in0];
-        break;
-      case NodeKind::Not:
-        node_sets[id] = algebra_->set_not(node_sets[n.in0]);
-        break;
-      case NodeKind::And2:
-        node_sets[id] =
-            algebra_->set_fwd(Op2::And, node_sets[n.in0], node_sets[n.in1]);
-        break;
-      case NodeKind::Or2:
-        node_sets[id] =
-            algebra_->set_fwd(Op2::Or, node_sets[n.in0], node_sets[n.in1]);
-        break;
-      case NodeKind::Xor2:
-        node_sets[id] =
-            algebra_->set_fwd(Op2::Xor, node_sets[n.in0], node_sets[n.in1]);
-        break;
-      case NodeKind::Pi:
-      case NodeKind::Ppi:
-        break;
+    affected = static_cast<std::uint8_t>(affected & ~forced[id]);
+    while (affected != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(affected));
+      affected = static_cast<std::uint8_t>(affected & (affected - 1));
+      const VSet out = eval_node(
+          *algebra_, n.kind, lane_value(n.in0, lane),
+          n.in1 != kNoNode ? lane_value(n.in1, lane) : kEmptySet);
+      if (out != baseline[id]) {
+        packed[id] = (packed[id] & ~(std::uint64_t{0xFF} << (8 * lane))) |
+                     (std::uint64_t{out} << (8 * lane));
+        dirty[id] = static_cast<std::uint8_t>(dirty[id] | 1u << lane);
+      }
     }
   }
+
+  // A fault-free baseline is never carrier-only, so only lanes that dirtied
+  // a PO observation point can observe.
+  unsigned mask = 0;
+  for (const NodeId obs : model_->observation_points()) {
+    if (!model_->node(obs).is_po) {
+      continue;
+    }
+    std::uint8_t d = dirty[obs];
+    while (d != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(d));
+      d = static_cast<std::uint8_t>(d & (d - 1));
+      const VSet s = static_cast<VSet>(packed[obs] >> (8 * lane));
+      if (s != kEmptySet && (s & ~kCarrierSet) == 0) {
+        mask |= 1u << lane;
+      }
+    }
+  }
+  return mask;
 }
 
 void TwoFrameSim::run(const TwoFrameStimulus& stimulus,
@@ -70,7 +232,8 @@ void TwoFrameSim::run(const TwoFrameStimulus& stimulus,
              "PI stimulus size mismatch");
   GDF_ASSERT(stimulus.ppi_sets.size() == m.ppis().size(),
              "PPI stimulus size mismatch");
-  node_sets.assign(m.node_count(), kEmptySet);
+  const std::size_t n_nodes = m.node_count();
+  node_sets.assign(n_nodes, kEmptySet);
   for (std::size_t i = 0; i < m.pis().size(); ++i) {
     node_sets[m.pis()[i]] =
         static_cast<VSet>(stimulus.pi_sets[i] & kPrimaryDomain);
@@ -79,34 +242,21 @@ void TwoFrameSim::run(const TwoFrameStimulus& stimulus,
     node_sets[m.ppis()[i]] =
         static_cast<VSet>(stimulus.ppi_sets[i] & kPrimaryDomain);
   }
-  for (NodeId id = 0; id < m.node_count(); ++id) {
-    const Node& n = m.node(id);
-    switch (n.kind) {
-      case NodeKind::Pi:
-      case NodeKind::Ppi:
-        break;
-      case NodeKind::Buf:
-        node_sets[id] = node_sets[n.in0];
-        break;
-      case NodeKind::Not:
-        node_sets[id] = algebra_->set_not(node_sets[n.in0]);
-        break;
-      case NodeKind::And2:
-        node_sets[id] =
-            algebra_->set_fwd(Op2::And, node_sets[n.in0], node_sets[n.in1]);
-        break;
-      case NodeKind::Or2:
-        node_sets[id] =
-            algebra_->set_fwd(Op2::Or, node_sets[n.in0], node_sets[n.in1]);
-        break;
-      case NodeKind::Xor2:
-        node_sets[id] =
-            algebra_->set_fwd(Op2::Xor, node_sets[n.in0], node_sets[n.in1]);
-        break;
+  // Node ids are topological, so one SoA sweep settles the whole model.
+  const NodeKind* kinds = m.kinds().data();
+  const NodeId* in0s = m.in0s().data();
+  const NodeId* in1s = m.in1s().data();
+  VSet* sets = node_sets.data();
+  const NodeId site = fault != nullptr ? fault->site : kNoNode;
+  for (NodeId id = 0; id < n_nodes; ++id) {
+    const NodeKind kind = kinds[id];
+    if (kind != NodeKind::Pi && kind != NodeKind::Ppi) {
+      const NodeId in1 = in1s[id];
+      sets[id] = eval_node(*algebra_, kind, sets[in0s[id]],
+                           in1 != kNoNode ? sets[in1] : kEmptySet);
     }
-    if (fault != nullptr && fault->site == id) {
-      node_sets[id] =
-          DelayAlgebra::site_transform(node_sets[id], fault->slow_to_rise);
+    if (id == site) {
+      sets[id] = DelayAlgebra::site_transform(sets[id], fault->slow_to_rise);
     }
   }
 }

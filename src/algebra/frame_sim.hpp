@@ -9,6 +9,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "algebra/model.hpp"
@@ -59,9 +60,48 @@ class TwoFrameSim {
   void run_forced(const TwoFrameStimulus& stimulus, NodeId forced,
                   VSet forced_set, std::vector<VSet>& node_sets) const;
 
+  /// Like run() with a fault, but starting from an already-computed
+  /// fault-free pass over the same stimulus: only the site's fanout cone is
+  /// re-evaluated. Exactly equivalent to run(stimulus, &fault, node_sets).
+  void run_injected(std::span<const VSet> baseline, const FaultSpec& fault,
+                    std::vector<VSet>& node_sets) const;
+
+  /// Incremental settle: `node_sets` holds a settled pass (under `fault`)
+  /// and `changed` lists source nodes whose raw stimulus set is replaced.
+  /// Re-evaluates only the affected cones; the result is exactly what
+  /// run() with the updated stimulus would produce.
+  void rerun_sources(std::span<const std::pair<NodeId, VSet>> changed,
+                     const FaultSpec* fault,
+                     std::vector<VSet>& node_sets) const;
+
+  /// One what-if scenario of a batched stem sweep: `node`'s value set is
+  /// replaced by `set` before its fanout is evaluated.
+  struct ForcedLane {
+    NodeId node = kNoNode;
+    VSet set = kEmptySet;
+  };
+
+  /// Batched run_forced over a shared fault-free baseline: up to eight
+  /// independent scenarios evaluated in one packed cone sweep (one byte
+  /// lane per scenario). Returns a bitmask with bit i set when scenario i
+  /// forces a carrier-only value at some primary output — the only fact
+  /// critical path tracing needs from a stem correction.
+  unsigned forced_po_carrier_mask(std::span<const VSet> baseline,
+                                  std::span<const ForcedLane> lanes) const;
+
  private:
+  /// Re-evaluates the fanout cone of `from` inside `node_sets`, whose value
+  /// at `from` has already been overridden (everything upstream holds
+  /// baseline values).
+  void replay_cone(NodeId from, std::vector<VSet>& node_sets) const;
+
   const AtpgModel* model_;
   const DelayAlgebra* algebra_;
+  /// Scratch buffers for the cone-replay paths (not thread-safe, like the
+  /// engines that own this simulator).
+  mutable std::vector<std::uint8_t> dirty_scratch_;
+  mutable std::vector<std::uint8_t> forced_scratch_;
+  mutable std::vector<std::uint64_t> packed_scratch_;
 };
 
 }  // namespace gdf::alg

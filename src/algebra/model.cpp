@@ -31,16 +31,9 @@ NodeKind body_kind(net::GateType type) {
 
 NodeId AtpgModel::add_node(Node n) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
+  GDF_ASSERT(n.in0 == kNoNode || n.in0 < id, "node ids must be topological");
+  GDF_ASSERT(n.in1 == kNoNode || n.in1 < id, "node ids must be topological");
   nodes_.push_back(n);
-  fanouts_.emplace_back();
-  if (n.in0 != kNoNode) {
-    GDF_ASSERT(n.in0 < id, "node ids must be topological");
-    fanouts_[n.in0].push_back(id);
-  }
-  if (n.in1 != kNoNode) {
-    GDF_ASSERT(n.in1 < id, "node ids must be topological");
-    fanouts_[n.in1].push_back(id);
-  }
   return id;
 }
 
@@ -144,6 +137,42 @@ AtpgModel::AtpgModel(const net::Netlist& nl) : nl_(&nl) {
     }
   }
 
+  // Flattened SoA mirrors of the node records plus the CSR fanout — the
+  // form the hot loops walk. Reader lists come out sorted ascending, the
+  // order incremental construction used to produce.
+  kind_.reserve(nodes_.size());
+  in0_.reserve(nodes_.size());
+  in1_.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    kind_.push_back(n.kind);
+    in0_.push_back(n.in0);
+    in1_.push_back(n.in1);
+  }
+  fanout_begin_.assign(nodes_.size() + 1, 0);
+  for (const Node& n : nodes_) {
+    if (n.in0 != kNoNode) {
+      ++fanout_begin_[n.in0 + 1];
+    }
+    if (n.in1 != kNoNode) {
+      ++fanout_begin_[n.in1 + 1];
+    }
+  }
+  for (std::size_t i = 1; i < fanout_begin_.size(); ++i) {
+    fanout_begin_[i] += fanout_begin_[i - 1];
+  }
+  fanout_pool_.resize(fanout_begin_.back());
+  std::vector<std::uint32_t> cursor(fanout_begin_.begin(),
+                                    fanout_begin_.end() - 1);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.in0 != kNoNode) {
+      fanout_pool_[cursor[n.in0]++] = id;
+    }
+    if (n.in1 != kNoNode) {
+      fanout_pool_[cursor[n.in1]++] = id;
+    }
+  }
+
   // Backward BFS from observation points for the distance heuristic.
   obs_distance_.assign(nodes_.size(), kUnreachable);
   std::deque<NodeId> work;
@@ -173,7 +202,7 @@ std::vector<NodeId> AtpgModel::carrier_cone(NodeId from) const {
     const NodeId id = work.front();
     work.pop_front();
     cone.push_back(id);
-    for (const NodeId reader : fanouts_[id]) {
+    for (const NodeId reader : fanout(id)) {
       if (!seen[reader]) {
         seen[reader] = true;
         work.push_back(reader);

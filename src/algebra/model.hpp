@@ -44,7 +44,21 @@ class AtpgModel {
 
   std::size_t node_count() const { return nodes_.size(); }
   const Node& node(NodeId id) const { return nodes_[id]; }
-  std::span<const NodeId> fanout(NodeId id) const { return fanouts_[id]; }
+  std::span<const NodeId> fanout(NodeId id) const {
+    return std::span<const NodeId>(fanout_pool_.data() + fanout_begin_[id],
+                                   fanout_begin_[id + 1] - fanout_begin_[id]);
+  }
+
+  // Flattened structure-of-arrays view of the node graph — what the hot
+  // loops (implication fixpoint, two-frame simulation) walk instead of the
+  // AoS `node()` records.
+  std::span<const NodeKind> kinds() const { return kind_; }
+  std::span<const NodeId> in0s() const { return in0_; }
+  std::span<const NodeId> in1s() const { return in1_; }
+  /// CSR fanout: readers of `id` are fanout_pool()[fanout_begin()[id] ..
+  /// fanout_begin()[id+1]].
+  std::span<const std::uint32_t> fanout_begin() const { return fanout_begin_; }
+  std::span<const NodeId> fanout_pool() const { return fanout_pool_; }
 
   /// Node completing the function of netlist gate `g`.
   NodeId head_of(net::GateId g) const { return head_[g]; }
@@ -74,7 +88,11 @@ class AtpgModel {
 
   const net::Netlist* nl_;
   std::vector<Node> nodes_;
-  std::vector<std::vector<NodeId>> fanouts_;
+  std::vector<NodeKind> kind_;
+  std::vector<NodeId> in0_;
+  std::vector<NodeId> in1_;
+  std::vector<std::uint32_t> fanout_begin_;
+  std::vector<NodeId> fanout_pool_;
   std::vector<NodeId> head_;
   std::vector<NodeId> pi_nodes_;
   std::vector<NodeId> ppi_nodes_;

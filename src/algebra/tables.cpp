@@ -82,6 +82,44 @@ DelayAlgebra::DelayAlgebra(Mode mode) : mode_(mode) {
                         [idx(v_and(v_not(va), vb))];
     }
   }
+
+  // Memoize the set operators. Singleton pairs come straight from eval2;
+  // wider sets decompose as unions over their lowest member, so every
+  // entry is filled from two already-filled ones.
+  for (int a = 0; a < 256; ++a) {
+    VSet image = kEmptySet;
+    for (int v = 0; v < kV8Count; ++v) {
+      if (vset_contains(static_cast<VSet>(a), static_cast<V8>(v))) {
+        image |= vset_of(v_not(static_cast<V8>(v)));
+      }
+    }
+    not_image_[a] = image;
+  }
+  for (const Op2 op : {Op2::And, Op2::Or, Op2::Xor}) {
+    auto& table = fwd_[static_cast<int>(op)];
+    for (int b = 0; b < 256; ++b) {
+      table[0][b] = kEmptySet;
+    }
+    for (int a = 1; a < 256; ++a) {
+      table[a][0] = kEmptySet;
+      const int a_low = a & -a;
+      const int a_rest = a & (a - 1);
+      for (int b = 1; b < 256; ++b) {
+        if (a_rest != 0) {
+          table[a][b] = table[a_low][b] | table[a_rest][b];
+          continue;
+        }
+        const int b_low = b & -b;
+        const int b_rest = b & (b - 1);
+        if (b_rest != 0) {
+          table[a][b] = table[a][b_low] | table[a][b_rest];
+          continue;
+        }
+        table[a][b] = vset_of(eval2(op, vset_only(static_cast<VSet>(a)),
+                                    vset_only(static_cast<VSet>(b))));
+      }
+    }
+  }
 }
 
 V8 DelayAlgebra::v_not(V8 a) const { return kNot[idx(a)]; }
@@ -97,49 +135,6 @@ V8 DelayAlgebra::eval2(Op2 op, V8 a, V8 b) const {
   }
   GDF_ASSERT(false, "bad Op2");
   return V8::Zero;
-}
-
-VSet DelayAlgebra::set_not(VSet a) const {
-  VSet out = 0;
-  for (int i = 0; i < kV8Count; ++i) {
-    if (vset_contains(a, static_cast<V8>(i))) {
-      out |= vset_of(v_not(static_cast<V8>(i)));
-    }
-  }
-  return out;
-}
-
-VSet DelayAlgebra::set_fwd(Op2 op, VSet a, VSet b) const {
-  VSet out = 0;
-  for (int i = 0; i < kV8Count && out != kFullSet; ++i) {
-    if (!vset_contains(a, static_cast<V8>(i))) {
-      continue;
-    }
-    for (int j = 0; j < kV8Count; ++j) {
-      if (vset_contains(b, static_cast<V8>(j))) {
-        out |= vset_of(eval2(op, static_cast<V8>(i), static_cast<V8>(j)));
-      }
-    }
-  }
-  return out;
-}
-
-VSet DelayAlgebra::set_bwd_first(Op2 op, VSet a, VSet b, VSet out) const {
-  VSet kept = 0;
-  for (int i = 0; i < kV8Count; ++i) {
-    if (!vset_contains(a, static_cast<V8>(i))) {
-      continue;
-    }
-    for (int j = 0; j < kV8Count; ++j) {
-      if (vset_contains(b, static_cast<V8>(j)) &&
-          vset_contains(out,
-                        eval2(op, static_cast<V8>(i), static_cast<V8>(j)))) {
-        kept |= vset_of(static_cast<V8>(i));
-        break;
-      }
-    }
-  }
-  return kept;
 }
 
 VSet DelayAlgebra::site_transform(VSet raw, bool slow_to_rise) {

@@ -38,17 +38,35 @@ class DelayAlgebra {
   V8 eval2(Op2 op, V8 a, V8 b) const;
 
   // Set-level evaluation ---------------------------------------------------
+  // The set operators are the hot path of the implication engine and the
+  // two-frame simulator (hundreds of millions of calls per ATPG run), so
+  // they are memoized exhaustively at construction: 2^8 x 2^8 set pairs per
+  // operator, one byte each.
+
   /// Exact image of the Not bijection.
-  VSet set_not(VSet a) const;
+  VSet set_not(VSet a) const { return not_image_[a]; }
   /// Preimage of the Not bijection (same table, Not is an involution).
   VSet set_not_pre(VSet out) const { return set_not(out); }
 
   /// Union of eval2 over all member pairs: possible outputs.
-  VSet set_fwd(Op2 op, VSet a, VSet b) const;
+  VSet set_fwd(Op2 op, VSet a, VSet b) const {
+    return fwd_[static_cast<int>(op)][a][b];
+  }
 
   /// Members of `a` that can, with some member of `b`, produce a value in
   /// `out` — the backward pruning step of the implication engine.
-  VSet set_bwd_first(Op2 op, VSet a, VSet b, VSet out) const;
+  VSet set_bwd_first(Op2 op, VSet a, VSet b, VSet out) const {
+    const auto& table = fwd_[static_cast<int>(op)];
+    VSet kept = kEmptySet;
+    for (VSet rest = a; rest != 0;
+         rest = static_cast<VSet>(rest & (rest - 1))) {
+      const VSet member = static_cast<VSet>(rest & (~rest + 1u));
+      if ((table[member][b] & out) != 0) {
+        kept |= member;
+      }
+    }
+    return kept;
+  }
 
   /// Fault-site transform: replaces the activating transition by its
   /// carrier (R->Rc for slow-to-rise, F->Fc for slow-to-fall). Other values
@@ -64,6 +82,8 @@ class DelayAlgebra {
   std::array<std::array<V8, 8>, 8> and2_;
   std::array<std::array<V8, 8>, 8> or2_;
   std::array<std::array<V8, 8>, 8> xor2_;
+  std::array<VSet, 256> not_image_;
+  std::array<std::array<std::array<VSet, 256>, 256>, 3> fwd_;
 };
 
 /// Shared immutable instances (the tables are pure data).

@@ -49,6 +49,8 @@ DriverConfig parse_args(int argc, const char* const* argv) {
       config.help = true;
     } else if (arg == "--circuit" || arg == "-c") {
       config.circuits.push_back(value_of(i, arg));
+    } else if (arg == "--bench" || arg == "-b") {
+      config.bench_files.push_back(value_of(i, arg));
     } else if (arg == "--all") {
       config.all = true;
     } else if (arg == "--list") {
@@ -72,6 +74,16 @@ DriverConfig parse_args(int argc, const char* const* argv) {
       config.atpg.per_fault_seconds = parse_seconds(arg, value_of(i, arg));
     } else if (arg == "--seed") {
       config.atpg.fill_seed = parse_u64(arg, value_of(i, arg));
+    } else if (arg == "--tdsim") {
+      const std::string engine = value_of(i, arg);
+      if (engine == "cpt") {
+        config.atpg.tdsim_engine = core::TdsimEngine::Cpt;
+      } else if (engine == "exact") {
+        config.atpg.tdsim_engine = core::TdsimEngine::Exact;
+      } else {
+        throw Error("--tdsim expects 'exact' or 'cpt', got '" + engine +
+                    "'");
+      }
     } else if (arg == "--no-fault-dropping") {
       config.atpg.fault_dropping = false;
     } else if (arg == "--no-branch-faults") {
@@ -84,9 +96,9 @@ DriverConfig parse_args(int argc, const char* const* argv) {
   check(!(config.all && !config.circuits.empty()),
         "--all and --circuit are mutually exclusive");
   check(config.help || config.list_only || config.all ||
-            !config.circuits.empty(),
-        "nothing to do: pass --circuit NAME, --all, or --list "
-        "(see gdf_atpg --help)");
+            !config.circuits.empty() || !config.bench_files.empty(),
+        "nothing to do: pass --circuit NAME, --bench FILE, --all, or "
+        "--list (see gdf_atpg --help)");
   return config;
 }
 
@@ -95,10 +107,13 @@ std::string usage() {
       "gdf_atpg — robust gate delay fault test generation for non-scan\n"
       "circuits (van Brakel, Gläser, Kerkhoff, Vierhaus, DATE 1995).\n"
       "\n"
-      "usage: gdf_atpg (--circuit NAME)... | --all | --list [options]\n"
+      "usage: gdf_atpg (--circuit NAME | --bench FILE)... | --all | --list"
+      " [options]\n"
       "\n"
       "selection:\n"
       "  -c, --circuit NAME      run one catalog circuit (repeatable)\n"
+      "  -b, --bench FILE        run an ISCAS'89 .bench netlist from disk\n"
+      "                          (repeatable; combines with --circuit)\n"
       "      --all               sweep the full circuit catalog\n"
       "      --list              print catalog circuit names and exit\n"
       "\n"
@@ -111,6 +126,9 @@ std::string usage() {
       "      --seed N            RNG seed for X-fill         [1995]\n"
       "      --no-fault-dropping disable dropping via fault simulation\n"
       "      --no-branch-faults  gate outputs only, no fanout branches\n"
+      "      --tdsim ENGINE      phase-3 fault simulation engine:\n"
+      "                          'cpt' (critical path tracing, default)\n"
+      "                          or 'exact' (per-fault injection)\n"
       "\n"
       "output:\n"
       "      --csv               CSV rows instead of the Table-3 text table\n"

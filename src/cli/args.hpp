@@ -16,7 +16,8 @@ namespace gdf::cli {
 /// paper's setup (robust algebra, 100/100 backtrack limits, fault
 /// dropping), so `gdf_atpg --circuit s27` matches examples/quickstart.
 struct DriverConfig {
-  std::vector<std::string> circuits;  ///< empty + !all => error
+  std::vector<std::string> circuits;  ///< catalog names
+  std::vector<std::string> bench_files;  ///< .bench netlists from disk
   bool all = false;                   ///< sweep the whole catalog
   bool list_only = false;             ///< print catalog names and exit
   bool csv = false;                   ///< CSV rows instead of the text table

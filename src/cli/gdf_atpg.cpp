@@ -2,6 +2,7 @@
 //
 //   gdf_atpg --circuit s27          one Table-3 row, text layout
 //   gdf_atpg --all --csv            sweep the catalog, CSV rows
+//   gdf_atpg --bench s344.bench     a real ISCAS'89 netlist from disk
 //   gdf_atpg --circuit s298 --non-robust --seq-backtracks 500 --stages
 //
 // Exit status: 0 on success, 1 on a user-facing error (unknown circuit or
@@ -13,6 +14,8 @@
 #include "circuits/catalog.hpp"
 #include "cli/args.hpp"
 #include "core/delay_atpg.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/validate.hpp"
 
 namespace gdf::cli {
 namespace {
@@ -29,14 +32,18 @@ int run(const DriverConfig& config) {
     return 0;
   }
 
-  std::vector<std::string> names =
+  const std::vector<std::string> names =
       config.all ? circuits::catalog_names() : config.circuits;
-  // Validate every name up front so a typo late in the list doesn't waste
-  // a long sweep.
+  // Validate every name and file up front so a typo late in the list
+  // doesn't waste a long sweep.
   std::vector<net::Netlist> circuits;
-  circuits.reserve(names.size());
+  circuits.reserve(names.size() + config.bench_files.size());
   for (const std::string& name : names) {
     circuits.push_back(circuits::load_circuit(name));
+  }
+  for (const std::string& path : config.bench_files) {
+    circuits.push_back(net::read_bench_file(path));
+    net::validate_or_throw(circuits.back());
   }
 
   std::printf("%s\n",

@@ -107,7 +107,8 @@ Fogbuster::Fogbuster(const net::Netlist& circuit, AtpgOptions options)
                                   : circuit),
       options_(options),
       model_(nl_),
-      algebra_(&alg::algebra_for(options.mode)) {}
+      algebra_(&alg::algebra_for(options.mode)),
+      flat_(sim::FlatCircuit::build(nl_)) {}
 
 bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
                              const std::vector<sim::InputVec>& prop_frames,
@@ -122,7 +123,7 @@ bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
       requirements.emplace_back(k, lv_from_bit(s0[k]));
     }
   }
-  semilet::Synchronizer synchronizer(nl_, budget);
+  semilet::Synchronizer synchronizer(flat_, budget);
   semilet::SyncResult sync;
   const semilet::SeqStatus status =
       synchronizer.synchronize(std::move(requirements), &sync);
@@ -238,7 +239,7 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
       }
     }
 
-    semilet::Propagator propagator(nl_, budget);
+    semilet::Propagator propagator(flat_, budget);
     propagator.start(boundary, assignable);
     semilet::PropagationOutcome outcome;
     for (;;) {
@@ -265,7 +266,7 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
       std::vector<std::size_t> relied = needed;
       if (!outcome.boundary_requirements.empty()) {
         ++stages->reentries;
-        const sim::SeqSimulator twin_sim(nl_);
+        const sim::SeqSimulator twin_sim(flat_);
         const bool known_needed = !propagation_works_without_known(
             twin_sim, boundary, outcome.boundary_requirements,
             outcome.frames);
@@ -334,7 +335,7 @@ FogbusterResult Fogbuster::run() {
   result.status.assign(result.faults.size(), FaultStatus::Untested);
 
   Rng fill_rng(options_.fill_seed);
-  fausim::Fausim fausim(nl_);
+  fausim::Fausim fausim(flat_);
   const tdsim::Tdsim tdsim(model_, *algebra_);
 
   for (std::size_t i = 0; i < result.faults.size(); ++i) {
@@ -357,7 +358,8 @@ FogbusterResult Fogbuster::run() {
     }
     // Fault simulation (paper §5): random X fill, good-machine pass,
     // PPO observability over the propagation frames, then the fast-frame
-    // delay fault simulation by critical path tracing.
+    // delay fault simulation by critical path tracing. Only the still
+    // untested faults are simulated — detected ones are already dropped.
     const std::vector<sim::InputVec> frames = sequence.all_frames();
     const fausim::Fausim::GoodTrace trace =
         fausim.simulate_good(frames, fill_rng);
@@ -377,11 +379,21 @@ FogbusterResult Fogbuster::run() {
         trace.states[fast + 1],
         std::span<const sim::InputVec>(trace.filled).subspan(fast + 1));
     request.needed_ppos = sequence.needed_ppos;
-    const std::vector<bool> detected =
-        tdsim.detect_cpt(request, result.faults);
+    std::vector<std::size_t> untested;
+    std::vector<tdgen::DelayFault> targets;
     for (std::size_t j = 0; j < result.faults.size(); ++j) {
-      if (result.status[j] == FaultStatus::Untested && detected[j]) {
-        result.status[j] = FaultStatus::Tested;
+      if (result.status[j] == FaultStatus::Untested) {
+        untested.push_back(j);
+        targets.push_back(result.faults[j]);
+      }
+    }
+    const std::vector<bool> detected =
+        options_.tdsim_engine == TdsimEngine::Exact
+            ? tdsim.detect_exact(request, targets)
+            : tdsim.detect_cpt(request, targets);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      if (detected[t]) {
+        result.status[untested[t]] = FaultStatus::Tested;
         ++result.stages.dropped;
       }
     }

@@ -24,6 +24,7 @@
 #include "core/test_sequence.hpp"
 #include "netlist/netlist.hpp"
 #include "semilet/options.hpp"
+#include "sim/flat_circuit.hpp"
 #include "tdgen/fault.hpp"
 
 namespace gdf::core {
@@ -98,6 +99,9 @@ class Fogbuster {
   AtpgOptions options_;
   alg::AtpgModel model_;
   const alg::DelayAlgebra* algebra_;
+  /// Flat simulation form of nl_, built once and shared by every engine
+  /// the flow spawns (propagation, synchronization, fault simulation).
+  std::shared_ptr<const sim::FlatCircuit> flat_;
 };
 
 }  // namespace gdf::core

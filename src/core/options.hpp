@@ -10,6 +10,9 @@
 
 namespace gdf::core {
 
+/// Phase-3 delay fault simulation engine (see tdsim/tdsim.hpp).
+enum class TdsimEngine : std::uint8_t { Cpt, Exact };
+
 struct AtpgOptions {
   /// Robust (paper) or non-robust (§7 outlook / ablation) algebra.
   alg::Mode mode = alg::Mode::Robust;
@@ -32,6 +35,11 @@ struct AtpgOptions {
   /// Fault-simulate after each successful generation and drop the
   /// additionally detected faults (paper §5/§6).
   bool fault_dropping = true;
+
+  /// Which TDsim engine phase 3 uses: critical path tracing (fast, the
+  /// default) or exact per-fault injection (the reference). The two agree
+  /// exactly; exposing the choice makes that checkable from the CLI.
+  TdsimEngine tdsim_engine = TdsimEngine::Cpt;
 
   /// Seed for the random X-fill performed before fault simulation.
   std::uint64_t fill_seed = 1995;

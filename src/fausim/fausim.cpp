@@ -8,7 +8,10 @@ using sim::Lv;
 using sim::Word3;
 
 Fausim::Fausim(const net::Netlist& nl)
-    : nl_(&nl), scalar_(nl), parallel_(nl) {}
+    : Fausim(sim::FlatCircuit::build(nl)) {}
+
+Fausim::Fausim(std::shared_ptr<const sim::FlatCircuit> fc)
+    : fc_(std::move(fc)), scalar_(fc_), parallel_(fc_) {}
 
 Fausim::GoodTrace Fausim::simulate_good(std::span<const sim::InputVec> frames,
                                         Rng& rng) const {
@@ -23,14 +26,15 @@ Fausim::GoodTrace Fausim::simulate_good(std::span<const sim::InputVec> frames,
     }
     trace.filled.push_back(std::move(filled));
   }
-  sim::StateVec state = scalar_.unknown_state();
-  trace.states.push_back(state);
-  std::vector<Lv> lines;
+  trace.states.reserve(frames.size() + 1);
+  trace.lines.reserve(frames.size());
+  trace.states.push_back(scalar_.unknown_state());
   for (const sim::InputVec& pis : trace.filled) {
-    scalar_.eval_frame(pis, state, lines);
-    trace.lines.push_back(lines);
-    state = scalar_.next_state(lines);
-    trace.states.push_back(state);
+    // Frames settle directly into the trace's own storage — no staging
+    // buffer to copy out of.
+    trace.lines.emplace_back();
+    scalar_.eval_frame(pis, trace.states.back(), trace.lines.back());
+    trace.states.push_back(scalar_.next_state(trace.lines.back()));
   }
   return trace;
 }
@@ -38,41 +42,58 @@ Fausim::GoodTrace Fausim::simulate_good(std::span<const sim::InputVec> frames,
 std::vector<bool> Fausim::ppo_observability(
     const sim::StateVec& state_after_fast,
     std::span<const sim::InputVec> propagation_frames) const {
-  const std::size_t n_ff = nl_->dffs().size();
+  const net::Netlist& nl = fc_->netlist();
+  const std::size_t n_ff = nl.dffs().size();
   GDF_ASSERT(state_after_fast.size() == n_ff, "state size mismatch");
   std::vector<bool> observable(n_ff, false);
 
-  // Lane 0 is the good machine; lanes 1..k flip one definite state bit
-  // each. 63 faulty machines per pass.
-  std::size_t begin = 0;
-  while (begin < n_ff) {
-    std::vector<std::size_t> lane_ff;  // flip-flop index per faulty lane
-    std::size_t end = begin;
-    while (end < n_ff && lane_ff.size() < 63) {
-      if (sim::is_binary(state_after_fast[end])) {
-        lane_ff.push_back(end);
-      }
-      ++end;
+  // Only flip-flops with a definite captured value can carry a single-bit
+  // good/faulty difference.
+  std::vector<std::size_t> flippable;
+  flippable.reserve(n_ff);
+  for (std::size_t k = 0; k < n_ff; ++k) {
+    if (sim::is_binary(state_after_fast[k])) {
+      flippable.push_back(k);
     }
-    if (lane_ff.empty()) {
-      begin = end;
-      continue;
-    }
-    const std::uint64_t all_lanes =
-        lane_ff.size() + 1 >= 64
-            ? ~std::uint64_t{0}
-            : ((std::uint64_t{1} << (lane_ff.size() + 1)) - 1);
+  }
+  if (flippable.empty() || propagation_frames.empty()) {
+    return observable;
+  }
 
-    std::vector<Word3> state_words(n_ff);
-    for (std::size_t i = 0; i < n_ff; ++i) {
-      state_words[i] = sim::w3_const(state_after_fast[i], all_lanes);
+  // PI words are identical in every lane, so each propagation frame is
+  // converted exactly once and reused by every pass; lanes past the active
+  // count simply replay the good machine.
+  constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+  const std::size_t n_pi = nl.inputs().size();
+  std::vector<std::vector<Word3>> pi_frames(propagation_frames.size());
+  for (std::size_t f = 0; f < propagation_frames.size(); ++f) {
+    const sim::InputVec& pis = propagation_frames[f];
+    GDF_ASSERT(pis.size() == n_pi, "PI size mismatch");
+    pi_frames[f].resize(n_pi);
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      pi_frames[f][i] = sim::w3_const(pis[i], kAllLanes);
     }
-    for (std::size_t lane = 0; lane < lane_ff.size(); ++lane) {
-      const std::size_t ff = lane_ff[lane];
+  }
+  std::vector<Word3> base_state(n_ff);
+  for (std::size_t i = 0; i < n_ff; ++i) {
+    base_state[i] = sim::w3_const(state_after_fast[i], kAllLanes);
+  }
+
+  // Lane 0 is the good machine; lanes 1..63 flip one definite state bit
+  // each. 63 faulty machines per pass; buffers persist across passes.
+  std::vector<Word3> state_words;
+  std::vector<Word3> line_words;
+  std::vector<Word3> next_words;
+  for (std::size_t begin = 0; begin < flippable.size(); begin += 63) {
+    const std::size_t n_lanes = std::min<std::size_t>(
+        63, flippable.size() - begin);
+    state_words = base_state;
+    for (std::size_t lane = 0; lane < n_lanes; ++lane) {
+      const std::size_t ff = flippable[begin + lane];
       const std::uint64_t bit = std::uint64_t{1} << (lane + 1);
       // Flip the captured value in this faulty machine.
-      const Lv good = state_after_fast[ff];
-      const Lv bad = good == Lv::One ? Lv::Zero : Lv::One;
+      const Lv bad =
+          state_after_fast[ff] == Lv::One ? Lv::Zero : Lv::One;
       state_words[ff].ones &= ~bit;
       state_words[ff].zeros &= ~bit;
       const Word3 w = sim::w3_const(bad, bit);
@@ -80,30 +101,37 @@ std::vector<bool> Fausim::ppo_observability(
       state_words[ff].zeros |= w.zeros;
     }
 
-    std::vector<Word3> pi_words(nl_->inputs().size());
-    std::vector<Word3> line_words;
-    for (const sim::InputVec& pis : propagation_frames) {
-      GDF_ASSERT(pis.size() == nl_->inputs().size(), "PI size mismatch");
-      for (std::size_t i = 0; i < pis.size(); ++i) {
-        pi_words[i] = sim::w3_const(pis[i], all_lanes);
-      }
+    // Lanes of this pass whose difference has not reached a PO yet.
+    std::uint64_t pending =
+        ((n_lanes >= 63 ? std::uint64_t{0x7FFFFFFFFFFFFFFF}
+                        : ((std::uint64_t{1} << n_lanes) - 1)))
+        << 1;
+    for (const std::vector<Word3>& pi_words : pi_frames) {
       parallel_.eval_frame(pi_words, state_words, line_words);
-      for (const net::GateId po : nl_->outputs()) {
+      for (const net::GateId po : nl.outputs()) {
         const Word3 w = line_words[po];
-        const Lv good = sim::w3_lane(w, 0);
-        if (!sim::is_binary(good)) {
+        // A lane differs from the good machine when both are definite and
+        // opposite: good 1 => the lane's zero rail, good 0 => its one rail.
+        const bool good_one = (w.ones & 1) != 0;
+        const bool good_zero = (w.zeros & 1) != 0;
+        if (!good_one && !good_zero) {
           continue;
         }
-        for (std::size_t lane = 0; lane < lane_ff.size(); ++lane) {
-          const Lv faulty = sim::w3_lane(w, static_cast<unsigned>(lane + 1));
-          if (sim::is_binary(faulty) && faulty != good) {
-            observable[lane_ff[lane]] = true;
-          }
+        std::uint64_t hits = (good_one ? w.zeros : w.ones) & pending;
+        while (hits != 0) {
+          const unsigned lane =
+              static_cast<unsigned>(__builtin_ctzll(hits));
+          hits &= hits - 1;
+          observable[flippable[begin + (lane - 1)]] = true;
+          pending &= ~(std::uint64_t{1} << lane);
         }
       }
-      state_words = parallel_.next_state(line_words);
+      if (pending == 0) {
+        break;  // every lane of this pass already observed
+      }
+      parallel_.next_state(line_words, next_words);
+      state_words.swap(next_words);
     }
-    begin = end;
   }
   return observable;
 }

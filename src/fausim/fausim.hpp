@@ -11,12 +11,17 @@
 //
 // Phase 3 (delay-fault critical path tracing inside the fast frame) lives
 // in TDsim.
+//
+// Both engines share one flat circuit form; phase 2 converts each
+// propagation frame's PI vector to lane words exactly once and keeps all
+// 64 lanes hot across the per-flip-flop passes.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "base/rng.hpp"
+#include "sim/flat_circuit.hpp"
 #include "sim/parallel3.hpp"
 #include "sim/seq_sim.hpp"
 
@@ -25,6 +30,8 @@ namespace gdf::fausim {
 class Fausim {
  public:
   explicit Fausim(const net::Netlist& nl);
+  /// Shares an already-built flat circuit form.
+  explicit Fausim(std::shared_ptr<const sim::FlatCircuit> fc);
 
   struct GoodTrace {
     /// Input vectors with every X bit filled randomly (what the tester
@@ -50,10 +57,10 @@ class Fausim {
       const sim::StateVec& state_after_fast,
       std::span<const sim::InputVec> propagation_frames) const;
 
-  const net::Netlist& netlist() const { return *nl_; }
+  const net::Netlist& netlist() const { return fc_->netlist(); }
 
  private:
-  const net::Netlist* nl_;
+  std::shared_ptr<const sim::FlatCircuit> fc_;
   sim::SeqSimulator scalar_;
   sim::ParallelSim3 parallel_;
 };

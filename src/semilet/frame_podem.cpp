@@ -41,8 +41,7 @@ FramePodem::FramePodem(const sim::SeqSimulator& sim, Budget& budget,
     : sim_(&sim),
       nl_(&sim.netlist()),
       budget_(&budget),
-      request_(std::move(request)),
-      obs_distance_(net::distance_to_observation(*nl_)) {
+      request_(std::move(request)) {
   GDF_ASSERT(request_.in_state.size() == nl_->dffs().size(),
              "in_state size mismatch");
   GDF_ASSERT(request_.assignable_ppi.size() == nl_->dffs().size(),
@@ -52,28 +51,6 @@ FramePodem::FramePodem(const sim::SeqSimulator& sim, Budget& budget,
              : request_.base_pis;
   GDF_ASSERT(pis_.size() == nl_->inputs().size(), "base PI size mismatch");
   state_ = request_.in_state;
-
-  // Lines that transitively depend on at least one primary input: the
-  // backtrace prefers these so it terminates at an assignable source.
-  pi_reachable_.assign(nl_->size(), false);
-  const net::Levelization lev = net::levelize(*nl_);
-  level_ = lev.level;
-  for (const GateId id : lev.order) {
-    const net::Gate& g = nl_->gate(id);
-    if (g.type == GateType::Input) {
-      pi_reachable_[id] = true;
-      continue;
-    }
-    if (g.type == GateType::Dff) {
-      continue;
-    }
-    for (const GateId driver : g.fanin) {
-      if (pi_reachable_[driver]) {
-        pi_reachable_[id] = true;
-        break;
-      }
-    }
-  }
 }
 
 void FramePodem::simulate() {
@@ -198,6 +175,7 @@ bool FramePodem::choose_objective(GateId* line, Lv* value) const {
   // D-frontier: gate with X output and a fault effect on an input; pick the
   // one closest to an observation point, then set one X input to the
   // non-controlling (sensitizing) value.
+  const std::span<const int> obs_distance = sim_->flat()->obs_distance();
   GateId best = net::kNoGate;
   for (GateId id = 0; id < nl_->size(); ++id) {
     const net::Gate& g = nl_->gate(id);
@@ -217,7 +195,7 @@ bool FramePodem::choose_objective(GateId* line, Lv* value) const {
     if (!has_effect) {
       continue;
     }
-    if (best == net::kNoGate || obs_distance_[id] < obs_distance_[best]) {
+    if (best == net::kNoGate || obs_distance[id] < obs_distance[best]) {
       best = id;
     }
   }
@@ -245,6 +223,8 @@ bool FramePodem::choose_objective(GateId* line, Lv* value) const {
 
 bool FramePodem::backtrace(GateId line, Lv value, Decision* decision) const {
   GDF_ASSERT(sim::is_binary(value), "backtrace value must be binary");
+  const sim::FlatCircuit& fc = *sim_->flat();
+  const std::span<const int> level = fc.level();
   for (;;) {
     const net::Gate& g = nl_->gate(line);
     if (g.type == GateType::Input) {
@@ -283,13 +263,13 @@ bool FramePodem::backtrace(GateId line, Lv value, Decision* decision) const {
         chosen = driver;
         continue;
       }
-      if (pi_reachable_[driver] != pi_reachable_[chosen]) {
-        if (pi_reachable_[driver]) {
+      if (fc.pi_reachable(driver) != fc.pi_reachable(chosen)) {
+        if (fc.pi_reachable(driver)) {
           chosen = driver;
         }
         continue;
       }
-      if (level_[driver] < level_[chosen]) {
+      if (level[driver] < level[chosen]) {
         chosen = driver;
       }
     }

@@ -18,7 +18,6 @@
 #include <utility>
 #include <vector>
 
-#include "netlist/levelize.hpp"
 #include "semilet/options.hpp"
 #include "sim/seq_sim.hpp"
 
@@ -91,9 +90,6 @@ class FramePodem {
   const net::Netlist* nl_;
   Budget* budget_;
   PodemRequest request_;
-  std::vector<int> obs_distance_;
-  std::vector<bool> pi_reachable_;  ///< line depends on some primary input
-  std::vector<int> level_;          ///< combinational depth per line
 
   sim::InputVec pis_;
   sim::StateVec state_;

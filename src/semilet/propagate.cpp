@@ -29,6 +29,13 @@ Propagator::Propagator(const net::Netlist& nl, Budget& budget,
                        sim::Injection injection)
     : nl_(&nl), sim_(nl), budget_(&budget), injection_(injection) {}
 
+Propagator::Propagator(std::shared_ptr<const sim::FlatCircuit> fc,
+                       Budget& budget, sim::Injection injection)
+    : nl_(&fc->netlist()),
+      sim_(std::move(fc)),
+      budget_(&budget),
+      injection_(injection) {}
+
 void Propagator::start(sim::StateVec boundary_state,
                        std::vector<bool> assignable) {
   layers_.clear();

@@ -45,6 +45,11 @@ class Propagator {
   Propagator(const net::Netlist& nl, Budget& budget,
              sim::Injection injection = {});
 
+  /// Shares an already-built flat circuit form (see sim/flat_circuit) so
+  /// repeated searches over one netlist do not rebuild the structure.
+  Propagator(std::shared_ptr<const sim::FlatCircuit> fc, Budget& budget,
+             sim::Injection injection = {});
+
   /// Begins a new enumeration from the boundary state. `assignable`
   /// marks the X bits the search may require values for (TDgen re-entry).
   void start(sim::StateVec boundary_state, std::vector<bool> assignable);

@@ -56,7 +56,7 @@ StuckAtStatus StuckAtAtpg::generate(const StuckAtFault& fault,
     }
 
     // Synchronize the state bits the activation frame leaned on.
-    Synchronizer synchronizer(*nl_, budget);
+    Synchronizer synchronizer(sim_.flat(), budget);
     SyncResult sync;
     const SeqStatus sync_status =
         synchronizer.synchronize(asol.ppi_assignments, &sync);
@@ -85,7 +85,7 @@ StuckAtStatus StuckAtAtpg::generate(const StuckAtFault& fault,
     // X bits of the captured state were produced by X logic in the
     // activation frame and could be justified through it; to keep the
     // facade simple they stay unassignable (documented pessimism).
-    Propagator propagator(*nl_, budget, injection);
+    Propagator propagator(sim_.flat(), budget, injection);
     propagator.start(std::move(boundary), std::move(assignable));
     PropagationOutcome outcome;
     for (;;) {

@@ -27,6 +27,10 @@ std::string requirement_key(
 Synchronizer::Synchronizer(const net::Netlist& nl, Budget& budget)
     : nl_(&nl), sim_(nl), budget_(&budget) {}
 
+Synchronizer::Synchronizer(std::shared_ptr<const sim::FlatCircuit> fc,
+                           Budget& budget)
+    : nl_(&fc->netlist()), sim_(std::move(fc)), budget_(&budget) {}
+
 bool Synchronizer::push_layer(
     std::vector<std::pair<std::size_t, Lv>> requirements) {
   if (layers_.size() >=

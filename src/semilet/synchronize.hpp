@@ -34,6 +34,9 @@ class Synchronizer {
  public:
   Synchronizer(const net::Netlist& nl, Budget& budget);
 
+  /// Shares an already-built flat circuit form (see sim/flat_circuit).
+  Synchronizer(std::shared_ptr<const sim::FlatCircuit> fc, Budget& budget);
+
   /// Requirements: flip-flop index -> value that must hold in the state
   /// *after* the returned sequence. An empty requirement list succeeds
   /// with an empty sequence.

@@ -1,0 +1,68 @@
+#include "sim/flat_circuit.hpp"
+
+#include "netlist/levelize.hpp"
+
+namespace gdf::sim {
+
+FlatCircuit::FlatCircuit(const net::Netlist& nl)
+    : nl_(&nl), line_count_(nl.size()) {
+  const net::Levelization lev = net::levelize(nl);
+  std::size_t bodies = 0;
+  std::size_t fanin_total = 0;
+  for (const net::GateId id : lev.order) {
+    const net::Gate& g = nl.gate(id);
+    if (g.type == net::GateType::Input || g.type == net::GateType::Dff) {
+      continue;
+    }
+    ++bodies;
+    fanin_total += g.fanin.size();
+  }
+  out_.reserve(bodies);
+  type_.reserve(bodies);
+  fanin_begin_.reserve(bodies + 1);
+  fanin_.reserve(fanin_total);
+  fanin_begin_.push_back(0);
+  for (const net::GateId id : lev.order) {
+    const net::Gate& g = nl.gate(id);
+    if (g.type == net::GateType::Input || g.type == net::GateType::Dff) {
+      continue;
+    }
+    out_.push_back(id);
+    type_.push_back(g.type);
+    fanin_.insert(fanin_.end(), g.fanin.begin(), g.fanin.end());
+    fanin_begin_.push_back(static_cast<std::uint32_t>(fanin_.size()));
+  }
+  inputs_.assign(nl.inputs().begin(), nl.inputs().end());
+  outputs_.assign(nl.outputs().begin(), nl.outputs().end());
+  dffs_.assign(nl.dffs().begin(), nl.dffs().end());
+  dff_data_.reserve(dffs_.size());
+  for (const net::GateId dff : dffs_) {
+    dff_data_.push_back(nl.gate(dff).fanin[0]);
+  }
+
+  level_ = lev.level;
+  obs_distance_ = net::distance_to_observation(nl);
+  pi_reachable_.assign(nl.size(), 0);
+  for (const net::GateId id : lev.order) {
+    const net::Gate& g = nl.gate(id);
+    if (g.type == net::GateType::Input) {
+      pi_reachable_[id] = 1;
+      continue;
+    }
+    if (g.type == net::GateType::Dff) {
+      continue;
+    }
+    for (const net::GateId driver : g.fanin) {
+      if (pi_reachable_[driver] != 0) {
+        pi_reachable_[id] = 1;
+        break;
+      }
+    }
+  }
+}
+
+std::shared_ptr<const FlatCircuit> FlatCircuit::build(const net::Netlist& nl) {
+  return std::make_shared<const FlatCircuit>(nl);
+}
+
+}  // namespace gdf::sim

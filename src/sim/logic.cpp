@@ -79,6 +79,24 @@ Lv lv_xor(Lv a, Lv b) {
   return lv_or(lv_and(a, lv_not(b)), lv_and(lv_not(a), b));
 }
 
+const LvTables& lv_tables() {
+  static const LvTables tables = [] {
+    LvTables t;
+    for (int a = 0; a < kLvCount; ++a) {
+      const Lv va = static_cast<Lv>(a);
+      t.not1[a] = lv_not(va);
+      for (int b = 0; b < kLvCount; ++b) {
+        const Lv vb = static_cast<Lv>(b);
+        t.and2[a][b] = lv_and(va, vb);
+        t.or2[a][b] = lv_or(va, vb);
+        t.xor2[a][b] = lv_xor(va, vb);
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
 Lv eval_gate(net::GateType type, std::span<const Lv> fanin) {
   using net::GateType;
   GDF_ASSERT(!fanin.empty(), "eval_gate needs at least one fanin value");

@@ -44,4 +44,34 @@ Lv lv_xor(Lv a, Lv b);
 /// here.
 Lv eval_gate(net::GateType type, std::span<const Lv> fanin);
 
+/// Precomputed composition tables over the five values. The flat scalar
+/// kernel indexes these instead of re-deriving the good/faulty machine
+/// decomposition per fanin pair.
+struct LvTables {
+  Lv not1[kLvCount];
+  Lv and2[kLvCount][kLvCount];
+  Lv or2[kLvCount][kLvCount];
+  Lv xor2[kLvCount][kLvCount];
+};
+
+/// Shared immutable instance, filled from lv_not/lv_and/lv_or/lv_xor.
+const LvTables& lv_tables();
+
+/// Scalar five-valued instantiation of the flat kernel's Ops concept.
+struct LvOps {
+  using Value = Lv;
+  const LvTables* t = &lv_tables();
+
+  Lv not_(Lv a) const { return t->not1[static_cast<int>(a)]; }
+  Lv and_(Lv a, Lv b) const {
+    return t->and2[static_cast<int>(a)][static_cast<int>(b)];
+  }
+  Lv or_(Lv a, Lv b) const {
+    return t->or2[static_cast<int>(a)][static_cast<int>(b)];
+  }
+  Lv xor_(Lv a, Lv b) const {
+    return t->xor2[static_cast<int>(a)][static_cast<int>(b)];
+  }
+};
+
 }  // namespace gdf::sim

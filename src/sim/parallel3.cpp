@@ -20,76 +20,43 @@ Lv w3_lane(Word3 w, unsigned lane) {
 }
 
 ParallelSim3::ParallelSim3(const net::Netlist& nl)
-    : nl_(&nl), lev_(net::levelize(nl)) {}
+    : fc_(FlatCircuit::build(nl)) {}
+
+ParallelSim3::ParallelSim3(std::shared_ptr<const FlatCircuit> fc)
+    : fc_(std::move(fc)) {
+  GDF_ASSERT(fc_ != nullptr, "null flat circuit");
+}
 
 void ParallelSim3::eval_frame(std::span<const Word3> pis,
                               std::span<const Word3> state,
                               std::vector<Word3>& line_values) const {
-  GDF_ASSERT(pis.size() == nl_->inputs().size(), "PI word count mismatch");
-  GDF_ASSERT(state.size() == nl_->dffs().size(), "state word count mismatch");
-  line_values.assign(nl_->size(), Word3{});
+  const FlatCircuit& fc = *fc_;
+  GDF_ASSERT(pis.size() == fc.inputs().size(), "PI word count mismatch");
+  GDF_ASSERT(state.size() == fc.dffs().size(), "state word count mismatch");
+  line_values.assign(fc.line_count(), Word3{});
   for (std::size_t i = 0; i < pis.size(); ++i) {
-    line_values[nl_->inputs()[i]] = pis[i];
+    line_values[fc.inputs()[i]] = pis[i];
   }
   for (std::size_t i = 0; i < state.size(); ++i) {
-    line_values[nl_->dffs()[i]] = state[i];
+    line_values[fc.dffs()[i]] = state[i];
   }
-  for (const net::GateId id : lev_.order) {
-    const net::Gate& g = nl_->gate(id);
-    using net::GateType;
-    if (g.type == GateType::Input || g.type == GateType::Dff) {
-      continue;
-    }
-    Word3 acc = line_values[g.fanin[0]];
-    switch (g.type) {
-      case GateType::Buf:
-        break;
-      case GateType::Not:
-        acc = w3_not(acc);
-        break;
-      case GateType::And:
-      case GateType::Nand:
-        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
-          acc = w3_and(acc, line_values[g.fanin[i]]);
-        }
-        if (g.type == GateType::Nand) {
-          acc = w3_not(acc);
-        }
-        break;
-      case GateType::Or:
-      case GateType::Nor:
-        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
-          acc = w3_or(acc, line_values[g.fanin[i]]);
-        }
-        if (g.type == GateType::Nor) {
-          acc = w3_not(acc);
-        }
-        break;
-      case GateType::Xor:
-      case GateType::Xnor:
-        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
-          acc = w3_xor(acc, line_values[g.fanin[i]]);
-        }
-        if (g.type == GateType::Xnor) {
-          acc = w3_not(acc);
-        }
-        break;
-      case GateType::Input:
-      case GateType::Dff:
-        break;
-    }
-    line_values[id] = acc;
-  }
+  eval_flat(fc, Word3Ops{}, line_values.data());
 }
 
 std::vector<Word3> ParallelSim3::next_state(
     std::span<const Word3> line_values) const {
   std::vector<Word3> next;
-  next.reserve(nl_->dffs().size());
-  for (const net::GateId dff : nl_->dffs()) {
-    next.push_back(line_values[nl_->gate(dff).fanin[0]]);
-  }
+  next_state(line_values, next);
   return next;
+}
+
+void ParallelSim3::next_state(std::span<const Word3> line_values,
+                              std::vector<Word3>& next) const {
+  const std::span<const net::GateId> taps = fc_->dff_data();
+  next.resize(taps.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    next[i] = line_values[taps[i]];
+  }
 }
 
 }  // namespace gdf::sim

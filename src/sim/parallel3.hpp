@@ -5,14 +5,18 @@
 //
 // Encoding per line: bit k of `ones` set => machine k sees 1; bit k of
 // `zeros` set => machine k sees 0; neither => X. Both set is a bug.
+//
+// A thin Word3 instantiation of the shared flat kernel (sim/flat_circuit):
+// the same levelized loop as the scalar engine, 64 lanes per step.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/flat_circuit.hpp"
 #include "sim/logic.hpp"
 
 namespace gdf::sim {
@@ -50,10 +54,25 @@ inline Word3 w3_xor(Word3 a, Word3 b) {
 /// Per-lane three-valued value extraction.
 Lv w3_lane(Word3 w, unsigned lane);
 
+/// 64-lane dual-rail instantiation of the flat kernel's Ops concept.
+struct Word3Ops {
+  using Value = Word3;
+
+  Word3 not_(Word3 a) const { return w3_not(a); }
+  Word3 and_(Word3 a, Word3 b) const { return w3_and(a, b); }
+  Word3 or_(Word3 a, Word3 b) const { return w3_or(a, b); }
+  Word3 xor_(Word3 a, Word3 b) const { return w3_xor(a, b); }
+};
+
 /// Levelized full-circuit evaluation over Word3 lanes.
 class ParallelSim3 {
  public:
+  /// Builds (and owns) a fresh flat form of the netlist.
   explicit ParallelSim3(const net::Netlist& nl);
+  /// Shares an already-built flat form.
+  explicit ParallelSim3(std::shared_ptr<const FlatCircuit> fc);
+
+  const std::shared_ptr<const FlatCircuit>& flat() const { return fc_; }
 
   /// Evaluates one settled frame. `pis` and `state` are per-line Word3
   /// boundary values (inputs in Netlist::inputs() order, state in dffs()
@@ -64,9 +83,12 @@ class ParallelSim3 {
   /// Next-state words (value at each DFF data pin).
   std::vector<Word3> next_state(std::span<const Word3> line_values) const;
 
+  /// In-place variant: fills `next` without allocating per frame.
+  void next_state(std::span<const Word3> line_values,
+                  std::vector<Word3>& next) const;
+
  private:
-  const net::Netlist* nl_;
-  net::Levelization lev_;
+  std::shared_ptr<const FlatCircuit> fc_;
 };
 
 }  // namespace gdf::sim

@@ -5,65 +5,63 @@
 namespace gdf::sim {
 
 SeqSimulator::SeqSimulator(const net::Netlist& nl)
-    : nl_(&nl), lev_(net::levelize(nl)) {}
+    : fc_(FlatCircuit::build(nl)) {}
+
+SeqSimulator::SeqSimulator(std::shared_ptr<const FlatCircuit> fc)
+    : fc_(std::move(fc)) {
+  GDF_ASSERT(fc_ != nullptr, "null flat circuit");
+}
 
 StateVec SeqSimulator::unknown_state() const {
-  return StateVec(nl_->dffs().size(), Lv::X);
+  return StateVec(fc_->dffs().size(), Lv::X);
 }
 
 void SeqSimulator::eval_frame(std::span<const Lv> pis,
                               std::span<const Lv> state,
                               std::vector<Lv>& line_values,
                               const Injection* injection) const {
-  GDF_ASSERT(pis.size() == nl_->inputs().size(), "PI vector size mismatch");
-  GDF_ASSERT(state.size() == nl_->dffs().size(), "state vector size mismatch");
-  line_values.assign(nl_->size(), Lv::X);
+  const FlatCircuit& fc = *fc_;
+  GDF_ASSERT(pis.size() == fc.inputs().size(), "PI vector size mismatch");
+  GDF_ASSERT(state.size() == fc.dffs().size(), "state vector size mismatch");
+  line_values.assign(fc.line_count(), Lv::X);
   for (std::size_t i = 0; i < pis.size(); ++i) {
-    line_values[nl_->inputs()[i]] = pis[i];
+    line_values[fc.inputs()[i]] = pis[i];
   }
   for (std::size_t i = 0; i < state.size(); ++i) {
-    line_values[nl_->dffs()[i]] = state[i];
+    line_values[fc.dffs()[i]] = state[i];
   }
-  const auto inject = [&](net::GateId id) {
-    if (injection != nullptr && injection->line == id) {
-      line_values[id] =
-          combine(good_value(line_values[id]), injection->faulty);
+  const LvOps ops;
+  if (injection != nullptr && injection->active()) {
+    const net::GateId site = injection->line;
+    const Lv faulty = injection->faulty;
+    if (site < line_values.size()) {
+      // Boundary injection (the site may also be a body; the hook below
+      // re-applies after the body's value is computed).
+      line_values[site] = combine(good_value(line_values[site]), faulty);
     }
-  };
-  for (const net::GateId src : nl_->inputs()) {
-    inject(src);
-  }
-  for (const net::GateId src : nl_->dffs()) {
-    inject(src);
-  }
-  std::vector<Lv> fanin_values;
-  for (const net::GateId id : lev_.order) {
-    const net::Gate& g = nl_->gate(id);
-    if (g.type == net::GateType::Input || g.type == net::GateType::Dff) {
-      continue;  // boundary values set above
-    }
-    fanin_values.clear();
-    for (const net::GateId driver : g.fanin) {
-      fanin_values.push_back(line_values[driver]);
-    }
-    line_values[id] = eval_gate(g.type, fanin_values);
-    inject(id);
+    eval_flat(fc, ops, line_values.data(), [&](net::GateId id, Lv& v) {
+      if (id == site) {
+        v = combine(good_value(v), faulty);
+      }
+    });
+  } else {
+    eval_flat(fc, ops, line_values.data());
   }
 }
 
 StateVec SeqSimulator::next_state(std::span<const Lv> line_values) const {
   StateVec next;
-  next.reserve(nl_->dffs().size());
-  for (const net::GateId dff : nl_->dffs()) {
-    next.push_back(line_values[nl_->gate(dff).fanin[0]]);
+  next.reserve(fc_->dff_data().size());
+  for (const net::GateId data : fc_->dff_data()) {
+    next.push_back(line_values[data]);
   }
   return next;
 }
 
 std::vector<Lv> SeqSimulator::outputs(std::span<const Lv> line_values) const {
   std::vector<Lv> pos;
-  pos.reserve(nl_->outputs().size());
-  for (const net::GateId po : nl_->outputs()) {
+  pos.reserve(fc_->outputs().size());
+  for (const net::GateId po : fc_->outputs()) {
     pos.push_back(line_values[po]);
   }
   return pos;

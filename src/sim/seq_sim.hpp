@@ -2,13 +2,18 @@
 // logic. One "frame" is one clock period: combinational settling followed by
 // the register edge — the time frame model of the paper's Figure 2 (this
 // simulator always models the slow clock, where every signal settles).
+//
+// A thin scalar instantiation of the shared flat kernel (sim/flat_circuit):
+// the per-frame walk is the same levelized loop the 64-lane engine uses,
+// specialized to table-driven five-valued values.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/flat_circuit.hpp"
 #include "sim/logic.hpp"
 
 namespace gdf::sim {
@@ -31,9 +36,14 @@ struct Injection {
 
 class SeqSimulator {
  public:
+  /// Builds (and owns) a fresh flat form of the netlist.
   explicit SeqSimulator(const net::Netlist& nl);
+  /// Shares an already-built flat form — the engines of one flow build the
+  /// circuit structure once and hand it around.
+  explicit SeqSimulator(std::shared_ptr<const FlatCircuit> fc);
 
-  const net::Netlist& netlist() const { return *nl_; }
+  const net::Netlist& netlist() const { return fc_->netlist(); }
+  const std::shared_ptr<const FlatCircuit>& flat() const { return fc_; }
 
   /// All-X power-up state.
   StateVec unknown_state() const;
@@ -59,8 +69,7 @@ class SeqSimulator {
                std::vector<std::vector<Lv>>* po_trace = nullptr) const;
 
  private:
-  const net::Netlist* nl_;
-  net::Levelization lev_;
+  std::shared_ptr<const FlatCircuit> fc_;
 };
 
 }  // namespace gdf::sim

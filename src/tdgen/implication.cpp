@@ -26,19 +26,27 @@ ImplicationEngine::ImplicationEngine(const alg::AtpgModel& model,
                                      const alg::DelayAlgebra& algebra)
     : model_(&model), algebra_(&algebra) {
   sets_.assign(model.node_count(), kFullSet);
-  in_queue_.assign(model.node_count(), false);
-  register_roles_.assign(model.node_count(), {});
+  in_queue_.assign(model.node_count(), 0);
+  std::vector<std::vector<std::uint32_t>> roles(model.node_count());
   for (std::size_t k = 0; k < model.ppis().size(); ++k) {
-    register_roles_[model.ppis()[k]].push_back(k);
-    register_roles_[model.ppo_node(k)].push_back(k);
+    roles[model.ppis()[k]].push_back(static_cast<std::uint32_t>(k));
+    roles[model.ppo_node(k)].push_back(static_cast<std::uint32_t>(k));
+  }
+  role_begin_.assign(model.node_count() + 1, 0);
+  for (std::size_t id = 0; id < model.node_count(); ++id) {
+    role_begin_[id + 1] =
+        role_begin_[id] + static_cast<std::uint32_t>(roles[id].size());
+  }
+  role_pool_.reserve(role_begin_.back());
+  for (const auto& r : roles) {
+    role_pool_.insert(role_pool_.end(), r.begin(), r.end());
   }
 }
 
 void ImplicationEngine::init(const alg::FaultSpec& fault) {
   fault_ = fault;
   trail_.clear();
-  queue_.clear();
-  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  clear_queue();
   conflict_ = false;
 
   std::vector<bool> in_cone(model_->node_count(), false);
@@ -71,6 +79,16 @@ bool ImplicationEngine::assign(NodeId n, VSet allowed) {
   return propagate();
 }
 
+void ImplicationEngine::clear_queue() {
+  // Only entries still pending carry a set flag; resetting those is
+  // O(queue) instead of O(nodes).
+  for (std::size_t i = queue_head_; i < queue_.size(); ++i) {
+    in_queue_[queue_[i]] = 0;
+  }
+  queue_.clear();
+  queue_head_ = 0;
+}
+
 void ImplicationEngine::rollback(std::size_t m) {
   GDF_ASSERT(m <= trail_.size(), "rollback past trail head");
   while (trail_.size() > m) {
@@ -78,8 +96,7 @@ void ImplicationEngine::rollback(std::size_t m) {
     sets_[e.node] = e.old_set;
     trail_.pop_back();
   }
-  queue_.clear();
-  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  clear_queue();
   conflict_ = false;
 }
 
@@ -103,24 +120,28 @@ bool ImplicationEngine::narrow(NodeId n, VSet next) {
 }
 
 void ImplicationEngine::enqueue(NodeId n) {
-  if (!in_queue_[n]) {
-    in_queue_[n] = true;
+  if (in_queue_[n] == 0) {
+    in_queue_[n] = 1;
     queue_.push_back(n);
   }
 }
 
-alg::VSet ImplicationEngine::forward_raw(const Node& n) const {
-  switch (n.kind) {
+alg::VSet ImplicationEngine::forward_raw(NodeId id) const {
+  const NodeId in0 = model_->in0s()[id];
+  switch (model_->kinds()[id]) {
     case NodeKind::Buf:
-      return sets_[n.in0];
+      return sets_[in0];
     case NodeKind::Not:
-      return algebra_->set_not(sets_[n.in0]);
+      return algebra_->set_not(sets_[in0]);
     case NodeKind::And2:
-      return algebra_->set_fwd(Op2::And, sets_[n.in0], sets_[n.in1]);
+      return algebra_->set_fwd(Op2::And, sets_[in0],
+                               sets_[model_->in1s()[id]]);
     case NodeKind::Or2:
-      return algebra_->set_fwd(Op2::Or, sets_[n.in0], sets_[n.in1]);
+      return algebra_->set_fwd(Op2::Or, sets_[in0],
+                               sets_[model_->in1s()[id]]);
     case NodeKind::Xor2:
-      return algebra_->set_fwd(Op2::Xor, sets_[n.in0], sets_[n.in1]);
+      return algebra_->set_fwd(Op2::Xor, sets_[in0],
+                               sets_[model_->in1s()[id]]);
     case NodeKind::Pi:
     case NodeKind::Ppi:
       break;
@@ -141,10 +162,10 @@ bool ImplicationEngine::apply_register_pair(std::size_t dff_index) {
 }
 
 bool ImplicationEngine::process(NodeId id) {
-  const Node& n = model_->node(id);
+  const NodeKind kind = model_->kinds()[id];
   const bool is_site = id == fault_.site;
-  if (!n.source()) {
-    VSet raw = forward_raw(n);
+  if (kind != NodeKind::Pi && kind != NodeKind::Ppi) {
+    VSet raw = forward_raw(id);
     if (is_site) {
       raw = alg::DelayAlgebra::site_transform(raw, fault_.slow_to_rise);
     }
@@ -156,29 +177,31 @@ bool ImplicationEngine::process(NodeId id) {
       out_req =
           alg::DelayAlgebra::site_transform_pre(out_req, fault_.slow_to_rise);
     }
-    switch (n.kind) {
+    const NodeId in0 = model_->in0s()[id];
+    switch (kind) {
       case NodeKind::Buf:
-        if (!narrow(n.in0, out_req)) {
+        if (!narrow(in0, out_req)) {
           return false;
         }
         break;
       case NodeKind::Not:
-        if (!narrow(n.in0, algebra_->set_not(out_req))) {
+        if (!narrow(in0, algebra_->set_not(out_req))) {
           return false;
         }
         break;
       case NodeKind::And2:
       case NodeKind::Or2:
       case NodeKind::Xor2: {
-        const Op2 op = n.kind == NodeKind::And2
+        const Op2 op = kind == NodeKind::And2
                            ? Op2::And
-                           : (n.kind == NodeKind::Or2 ? Op2::Or : Op2::Xor);
-        if (!narrow(n.in0, algebra_->set_bwd_first(op, sets_[n.in0],
-                                                   sets_[n.in1], out_req))) {
+                           : (kind == NodeKind::Or2 ? Op2::Or : Op2::Xor);
+        const NodeId in1 = model_->in1s()[id];
+        if (!narrow(in0, algebra_->set_bwd_first(op, sets_[in0],
+                                                 sets_[in1], out_req))) {
           return false;
         }
-        if (!narrow(n.in1, algebra_->set_bwd_first(op, sets_[n.in1],
-                                                   sets_[n.in0], out_req))) {
+        if (!narrow(in1, algebra_->set_bwd_first(op, sets_[in1],
+                                                 sets_[in0], out_req))) {
           return false;
         }
         break;
@@ -188,8 +211,10 @@ bool ImplicationEngine::process(NodeId id) {
         break;
     }
   }
-  for (const std::size_t dff_index : register_roles_[id]) {
-    if (!apply_register_pair(dff_index)) {
+  const std::uint32_t role_lo = role_begin_[id];
+  const std::uint32_t role_hi = role_begin_[id + 1];
+  for (std::uint32_t r = role_lo; r < role_hi; ++r) {
+    if (!apply_register_pair(role_pool_[r])) {
       return false;
     }
   }
@@ -197,14 +222,16 @@ bool ImplicationEngine::process(NodeId id) {
 }
 
 bool ImplicationEngine::propagate() {
-  while (!queue_.empty()) {
-    const NodeId id = queue_.front();
-    queue_.pop_front();
-    in_queue_[id] = false;
+  while (queue_head_ < queue_.size()) {
+    const NodeId id = queue_[queue_head_++];
+    in_queue_[id] = 0;
     if (!process(id)) {
-      queue_.clear();
-      std::fill(in_queue_.begin(), in_queue_.end(), false);
+      clear_queue();
       return false;
+    }
+    if (queue_head_ == queue_.size()) {
+      queue_.clear();
+      queue_head_ = 0;
     }
   }
   return true;

@@ -16,7 +16,7 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <vector>
 
 #include "algebra/frame_sim.hpp"
@@ -61,21 +61,27 @@ class ImplicationEngine {
   void enqueue(alg::NodeId n);
   bool process(alg::NodeId n);
   bool propagate();
-  alg::VSet forward_raw(const alg::Node& n) const;
+  alg::VSet forward_raw(alg::NodeId id) const;
   bool apply_register_pair(std::size_t dff_index);
+  void clear_queue();
 
   const alg::AtpgModel* model_;
   const alg::DelayAlgebra* algebra_;
   alg::FaultSpec fault_;
   std::vector<alg::VSet> sets_;
   std::vector<TrailEntry> trail_;
-  std::deque<alg::NodeId> queue_;
-  std::vector<bool> in_queue_;
+  /// FIFO as a vector plus head cursor (cheaper than std::deque at the
+  /// hundreds of millions of pushes an ATPG run performs).
+  std::vector<alg::NodeId> queue_;
+  std::size_t queue_head_ = 0;
+  std::vector<std::uint8_t> in_queue_;
   bool conflict_ = false;
 
   /// dff indices for which a node is the PPI / PPO partner (a PPO node can
-  /// serve several flip-flops when fanout is not expanded).
-  std::vector<std::vector<std::size_t>> register_roles_;
+  /// serve several flip-flops when fanout is not expanded), as a CSR so the
+  /// common no-role case is a two-load check.
+  std::vector<std::uint32_t> role_begin_;
+  std::vector<std::uint32_t> role_pool_;
 };
 
 }  // namespace gdf::tdgen

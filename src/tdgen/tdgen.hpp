@@ -18,6 +18,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "algebra/frame_sim.hpp"
@@ -101,6 +102,17 @@ class TdgenSearch {
   std::optional<alg::NodeId> required_obs_;
   std::vector<Decision> stack_;
   std::set<std::string> published_;
+  /// Source-set vectors (PIs + PPI initials) already taken through
+  /// verification. Different search leaves frequently share identical
+  /// primary assignments (decisions on internal nodes do not move the
+  /// sources), and verification is a pure function of the sources, so a
+  /// repeat can only reproduce the earlier outcome — which by then is a
+  /// duplicate. Skipping it is behavior-identical and avoids the
+  /// simulation entirely.
+  std::unordered_set<std::string> checked_entries_;
+  /// check_stimulus inputs that already failed (the check is deterministic,
+  /// so they fail forever) — mostly hit by the don't-care lifting probes.
+  mutable std::unordered_set<std::string> failed_checks_;
   bool started_ = false;
   bool aborted_ = false;
   int backtracks_ = 0;

@@ -1,5 +1,7 @@
 #include "tdsim/tdsim.hpp"
 
+#include <algorithm>
+
 #include "base/error.hpp"
 
 namespace gdf::tdsim {
@@ -71,7 +73,7 @@ bool Tdsim::detect_one(const TdsimRequest& request,
   }
   const alg::FaultSpec spec{site, fault.slow_to_rise};
   std::vector<VSet> injected;
-  sim_.run(request.stimulus, &spec, injected);
+  sim_.run_injected(fault_free, spec, injected);
   return credited(request, fault_free, injected);
 }
 
@@ -100,24 +102,32 @@ std::vector<bool> Tdsim::detect_cpt(
   const std::size_t n_nodes = model_->node_count();
   std::vector<bool> mark_rc(n_nodes, false), mark_fc(n_nodes, false);
 
+  // Stem corrections first: each stem needs both polarities, and four
+  // stems (eight scenarios) share one packed cone sweep over the
+  // fault-free baseline instead of eight full re-simulations.
+  std::vector<NodeId> stems;
+  for (NodeId id = 0; id < n_nodes; ++id) {
+    if (!model_->node(id).is_po && model_->fanout(id).size() > 1) {
+      stems.push_back(id);
+    }
+  }
+  std::vector<alg::TwoFrameSim::ForcedLane> lanes;
+  for (std::size_t group = 0; group < stems.size(); group += 4) {
+    const std::size_t n_group = std::min<std::size_t>(4, stems.size() - group);
+    lanes.clear();
+    for (std::size_t i = 0; i < n_group; ++i) {
+      lanes.push_back({stems[group + i], alg::vset_of(V8::RiseC)});
+      lanes.push_back({stems[group + i], alg::vset_of(V8::FallC)});
+    }
+    const unsigned mask = sim_.forced_po_carrier_mask(fault_free, lanes);
+    for (std::size_t i = 0; i < n_group; ++i) {
+      mark_rc[stems[group + i]] = (mask >> (2 * i) & 1u) != 0;
+      mark_fc[stems[group + i]] = (mask >> (2 * i + 1) & 1u) != 0;
+    }
+  }
+
   const auto compose = [&](NodeId n, V8 polarity) -> bool {
     const std::span<const NodeId> readers = model_->fanout(n);
-    if (model_->node(n).is_po) {
-      return true;  // observed right here
-    }
-    if (readers.empty()) {
-      return false;
-    }
-    if (readers.size() > 1) {
-      std::vector<VSet> forced;
-      sim_.run_forced(request.stimulus, n, alg::vset_of(polarity), forced);
-      for (const NodeId obs : model_->observation_points()) {
-        if (model_->node(obs).is_po && carrier_only(forced[obs])) {
-          return true;
-        }
-      }
-      return false;
-    }
     const NodeId r = readers[0];
     const Node& rn = model_->node(r);
     VSet out;
@@ -153,7 +163,18 @@ std::vector<bool> Tdsim::detect_cpt(
     return alg::vset_contains(out, V8::RiseC) ? mark_rc[r] : mark_fc[r];
   };
 
+  // Backward composition through single-reader chains; POs observe in
+  // place, stems were corrected above.
   for (NodeId id = static_cast<NodeId>(n_nodes); id-- > 0;) {
+    if (model_->node(id).is_po) {
+      mark_rc[id] = true;
+      mark_fc[id] = true;
+      continue;
+    }
+    const std::span<const NodeId> readers = model_->fanout(id);
+    if (readers.empty() || readers.size() > 1) {
+      continue;  // dead end stays false; stem marks are already set
+    }
     mark_rc[id] = compose(id, V8::RiseC);
     mark_fc[id] = compose(id, V8::FallC);
   }

@@ -1,0 +1,84 @@
+// The gdf_atpg argument parser and the CLI-reachable engine choices.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/error.hpp"
+#include "circuits/catalog.hpp"
+#include "cli/args.hpp"
+#include "core/delay_atpg.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace gdf::cli {
+namespace {
+
+DriverConfig parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"gdf_atpg"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, BenchFilesAreCollected) {
+  const DriverConfig config =
+      parse({"--bench", "a.bench", "-b", "b.bench"});
+  ASSERT_EQ(config.bench_files.size(), 2u);
+  EXPECT_EQ(config.bench_files[0], "a.bench");
+  EXPECT_EQ(config.bench_files[1], "b.bench");
+}
+
+TEST(ArgsTest, BenchAloneIsEnoughToRun) {
+  EXPECT_NO_THROW(parse({"--bench", "x.bench"}));
+  EXPECT_THROW(parse({"--csv"}), Error);
+}
+
+TEST(ArgsTest, TdsimEngineChoices) {
+  EXPECT_EQ(parse({"--all"}).atpg.tdsim_engine, core::TdsimEngine::Cpt);
+  EXPECT_EQ(parse({"--all", "--tdsim", "exact"}).atpg.tdsim_engine,
+            core::TdsimEngine::Exact);
+  EXPECT_EQ(parse({"--all", "--tdsim", "cpt"}).atpg.tdsim_engine,
+            core::TdsimEngine::Cpt);
+  EXPECT_THROW(parse({"--all", "--tdsim", "fast"}), Error);
+}
+
+TEST(ArgsTest, UsageMentionsNewFlags) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("--bench"), std::string::npos);
+  EXPECT_NE(text.find("--tdsim"), std::string::npos);
+}
+
+// The two TDsim engines must be interchangeable from one binary: the full
+// flow produces identical Table-3 rows either way.
+TEST(TdsimEngineSmokeTest, ExactAndCptAgreeOnS27) {
+  const net::Netlist nl = circuits::load_circuit("s27");
+  core::AtpgOptions cpt;
+  cpt.tdsim_engine = core::TdsimEngine::Cpt;
+  core::AtpgOptions exact;
+  exact.tdsim_engine = core::TdsimEngine::Exact;
+  const core::FogbusterResult a = core::run_delay_atpg(nl, cpt);
+  const core::FogbusterResult b = core::run_delay_atpg(nl, exact);
+  EXPECT_EQ(a.tested(), b.tested());
+  EXPECT_EQ(a.untestable(), b.untestable());
+  EXPECT_EQ(a.aborted(), b.aborted());
+  EXPECT_EQ(a.pattern_count, b.pattern_count);
+  EXPECT_EQ(a.status, b.status);
+}
+
+// --bench round trip: a catalog circuit serialized to .bench and loaded
+// back is accepted and runs through the same flow.
+TEST(BenchFileSmokeTest, WrittenBenchFileLoadsAndRuns) {
+  const net::Netlist original = circuits::load_circuit("s27");
+  const std::string path = ::testing::TempDir() + "gdf_cli_s27.bench";
+  {
+    std::ofstream out(path);
+    out << net::write_bench(original);
+  }
+  const net::Netlist loaded = net::read_bench_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  const core::FogbusterResult result = core::run_delay_atpg(loaded);
+  EXPECT_GT(result.tested(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gdf::cli
