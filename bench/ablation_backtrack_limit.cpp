@@ -1,31 +1,27 @@
 // Ablation A2 — sensitivity to the paper's abort policy (§6: "test pattern
 // generation was aborted after either 100 backtracks for the local test
 // pattern generator, or 100 backtracks for the sequential one").
+//
+// One declarative sweep: circuits × backtrack limits {10, 100, 1000},
+// executed by the shared orchestrator. Reproducible without this binary:
+//
+//   gdf_atpg --csv -c s27 -c s298 --backtracks 10,100,1000
 #include <cstdio>
 
-#include "circuits/catalog.hpp"
-#include "core/delay_atpg.hpp"
+#include "run/sweep.hpp"
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> circuits =
-      argc > 1 ? std::vector<std::string>(argv + 1, argv + argc)
-               : std::vector<std::string>{"s27", "s298"};
+  gdf::run::SweepSpec spec;
+  spec.circuits = gdf::run::catalog_sources(argc, argv, {"s27", "s298"});
+  spec.backtrack_limits = {10, 100, 1000};
+
   std::printf("Ablation A2 — backtrack limit sweep\n");
-  std::printf("%-8s %8s | %7s %7s %7s | %8s\n", "circuit", "limit", "tested",
-              "untstbl", "aborted", "time[s]");
-  for (const std::string& name : circuits) {
-    const gdf::net::Netlist circuit = gdf::circuits::load_circuit(name);
-    for (const int limit : {10, 100, 1000}) {
-      gdf::core::AtpgOptions options;
-      options.local.backtrack_limit = limit;
-      options.sequential.backtrack_limit = limit;
-      const gdf::core::FogbusterResult r =
-          gdf::core::run_delay_atpg(circuit, options);
-      std::printf("%-8s %8d | %7d %7d %7d | %8.1f\n", name.c_str(), limit,
-                  r.tested(), r.untestable(), r.aborted(), r.seconds);
-      std::fflush(stdout);
-    }
-  }
+  std::printf("(gdf_atpg --csv --backtracks 10,100,1000 ...)\n");
+  std::printf("%s\n", gdf::run::sweep_csv_header(spec).c_str());
+  gdf::run::run_sweep(spec, [&](const gdf::run::SweepRow& row) {
+    std::printf("%s\n", gdf::run::format_sweep_csv_row(spec, row).c_str());
+    std::fflush(stdout);
+  });
   std::printf("\nlarger limits convert aborted faults into tested or "
               "proven-untestable ones\nat a time cost — the trade the "
               "paper fixes at 100/100.\n");

@@ -1,38 +1,32 @@
 // Ablation A4 — the fault model's site list (paper §3: "each gate output
 // and each fan out branch"): how much of the fault population and the
 // result mix the branch faults account for.
+//
+// One declarative sweep: circuits × sites {full, stems}. Reproducible
+// without this binary:
+//
+//   gdf_atpg --csv -c s27 -c s298 --fault-sites full,stems
 #include <cstdio>
 
-#include "circuits/catalog.hpp"
-#include "core/delay_atpg.hpp"
+#include "run/sweep.hpp"
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> circuits =
-      argc > 1 ? std::vector<std::string>(argv + 1, argv + argc)
-               : std::vector<std::string>{"s27", "s298"};
+  gdf::run::SweepSpec spec;
+  spec.circuits = gdf::run::catalog_sources(argc, argv, {"s27", "s298"});
+  spec.full_sites = {true, false};
+
   std::printf("Ablation A4 — stem-only vs stem+branch fault sites\n");
-  std::printf("%-8s | %7s %7s %7s %7s | %7s %7s %7s %7s\n", "circuit",
-              "faults", "tested", "untstb", "abort", "faults", "tested",
-              "untstb", "abort");
-  std::printf("%-8s | %31s | %31s\n", "", "stems + branches (paper)",
-              "stems only");
-  for (const std::string& name : circuits) {
-    const gdf::net::Netlist circuit = gdf::circuits::load_circuit(name);
-
-    const gdf::core::FogbusterResult full =
-        gdf::core::run_delay_atpg(circuit);
-
-    gdf::core::AtpgOptions stems;
-    stems.fault_sites.include_branches = false;
-    const gdf::core::FogbusterResult stem_only =
-        gdf::core::run_delay_atpg(circuit, stems);
-
-    std::printf("%-8s | %7zu %7d %7d %7d | %7zu %7d %7d %7d\n",
-                name.c_str(), full.faults.size(), full.tested(),
-                full.untestable(), full.aborted(), stem_only.faults.size(),
-                stem_only.tested(), stem_only.untestable(),
-                stem_only.aborted());
+  std::printf("(gdf_atpg --csv --fault-sites full,stems ...)\n");
+  std::printf("%s,faults\n", gdf::run::sweep_csv_header(spec).c_str());
+  gdf::run::run_sweep(spec, [&](const gdf::run::SweepRow& row) {
+    std::printf("%s,%d\n",
+                gdf::run::format_sweep_csv_row(spec, row).c_str(),
+                row.table.tested + row.table.untestable +
+                    row.table.aborted);
     std::fflush(stdout);
-  }
+  });
+  std::printf("\n'full' is the paper's fault model; 'stems' drops the "
+              "fanout-branch faults\n(and the branch expansion) from the "
+              "population.\n");
   return 0;
 }

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Perf-trajectory tracker: runs the full-catalog ATPG sweep plus the
-# simulation micro-benchmarks and emits BENCH_simulation.json with
-# per-circuit wall times. Run from the repo root after building:
+# Perf-trajectory tracker: runs the full-catalog ATPG sweep through the
+# gdf_atpg CLI (serial and parallel) plus the simulation micro-benchmarks
+# and emits BENCH_simulation.json with per-circuit wall times. Run from
+# the repo root after building:
 #
-#   bench/run_benchmarks.sh [BUILD_DIR] [OUTPUT_JSON]
+#   bench/run_benchmarks.sh [BUILD_DIR] [OUTPUT_JSON] [JOBS]
+#
+# JOBS defaults to the machine's core count. The sweep runs twice — at
+# --jobs 1 and at --jobs N — and the script asserts the two produce
+# byte-identical rows (sans the wall-time column) before recording the
+# speedup; perf rows across PRs are only comparable at the same jobs
+# value, which is why the JSON records it.
 #
 # Wired into CI as a non-gating job so every PR records where the hot path
 # stands; compare the JSON against the previous run to see the trend.
@@ -11,6 +18,7 @@ set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUTPUT=${2:-BENCH_simulation.json}
+JOBS=${3:-$(nproc 2>/dev/null || echo 1)}
 
 GDF_ATPG="$BUILD_DIR/src/gdf_atpg"
 MICRO_SIM="$BUILD_DIR/bench/micro_simulation"
@@ -20,8 +28,23 @@ if [[ ! -x "$GDF_ATPG" ]]; then
   exit 1
 fi
 
-echo "run_benchmarks: sweeping the catalog with $GDF_ATPG ..." >&2
-CSV=$("$GDF_ATPG" --all --csv)
+echo "run_benchmarks: catalog sweep at --jobs 1 ..." >&2
+T0=$(date +%s.%N)
+CSV_J1=$("$GDF_ATPG" --all --csv --jobs 1)
+T1=$(date +%s.%N)
+echo "run_benchmarks: catalog sweep at --jobs $JOBS ..." >&2
+CSV_JN=$("$GDF_ATPG" --all --csv --jobs "$JOBS")
+T2=$(date +%s.%N)
+WALL_J1=$(echo "$T1 $T0" | awk '{printf "%.3f", $1 - $2}')
+WALL_JN=$(echo "$T2 $T1" | awk '{printf "%.3f", $1 - $2}')
+
+# Determinism gate: identical rows up to the nondeterministic seconds
+# column, whatever the worker count.
+if [[ "$(echo "$CSV_J1" | cut -d, -f1-5)" != \
+      "$(echo "$CSV_JN" | cut -d, -f1-5)" ]]; then
+  echo "run_benchmarks: --jobs 1 and --jobs $JOBS rows differ!" >&2
+  exit 1
+fi
 
 MICRO_JSON="null"
 if [[ -x "$MICRO_SIM" ]]; then
@@ -33,34 +56,55 @@ else
        "missing) — skipping" >&2
 fi
 
-CSV="$CSV" python3 - "$OUTPUT" "$MICRO_JSON" <<'EOF'
+CSV_J1="$CSV_J1" CSV_JN="$CSV_JN" JOBS="$JOBS" \
+  WALL_J1="$WALL_J1" WALL_JN="$WALL_JN" \
+  python3 - "$OUTPUT" "$MICRO_JSON" <<'EOF'
 import json
 import os
 import sys
 
 output_path = sys.argv[1]
 micro = json.loads(sys.argv[2])
+jobs = int(os.environ["JOBS"])
 
-lines = [l for l in os.environ["CSV"].splitlines() if l.strip()]
-header = lines[0].split(",")
-circuits = []
-total = 0.0
-for line in lines[1:]:
-    row = dict(zip(header, line.split(",")))
-    seconds = float(row["seconds"])
-    total += seconds
-    circuits.append({
-        "circuit": row["circuit"],
-        "tested": int(row["tested"]),
-        "untestable": int(row["untestable"]),
-        "aborted": int(row["aborted"]),
-        "patterns": int(row["patterns"]),
-        "seconds": seconds,
-    })
+
+def parse(csv_text):
+    lines = [l for l in csv_text.splitlines() if l.strip()]
+    header = lines[0].split(",")
+    circuits = []
+    total = 0.0
+    for line in lines[1:]:
+        row = dict(zip(header, line.split(",")))
+        seconds = float(row["seconds"])
+        total += seconds
+        circuits.append({
+            "circuit": row["circuit"],
+            "tested": int(row["tested"]),
+            "untestable": int(row["untestable"]),
+            "aborted": int(row["aborted"]),
+            "patterns": int(row["patterns"]),
+            "seconds": seconds,
+        })
+    return circuits, total
+
+
+# Per-circuit seconds come from the serial run: under --jobs N the
+# workers contend for cores and each circuit's own time inflates, which
+# would read as a phantom regression when diffing across PRs.
+circuits, serial_total = parse(os.environ["CSV_J1"])
+wall_j1 = float(os.environ["WALL_J1"])
+wall_jn = float(os.environ["WALL_JN"])
 
 report = {
     "benchmark": "gdf_atpg --all --csv",
-    "total_seconds": round(total, 3),
+    "jobs": jobs,
+    # Elapsed process wall time of the whole sweep — what --jobs shrinks.
+    "wall_seconds_jobs1": round(wall_j1, 3),
+    "wall_seconds_jobsN": round(wall_jn, 3),
+    "parallel_speedup": round(wall_j1 / wall_jn, 2) if wall_jn > 0 else None,
+    # Sum of per-circuit times at --jobs 1: the work metric comparable
+    # with pre-parallelism PRs (their total_seconds).
+    "total_seconds": round(serial_total, 3),
     "circuits": circuits,
     "micro_simulation": micro,
 }
@@ -68,5 +112,6 @@ with open(output_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(f"run_benchmarks: wrote {output_path} "
-      f"(catalog total {total:.1f}s)", file=sys.stderr)
+      f"(serial {wall_j1:.1f}s, jobs={jobs} {wall_jn:.1f}s)",
+      file=sys.stderr)
 EOF

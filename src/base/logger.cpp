@@ -1,11 +1,15 @@
 #include "base/logger.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace gdf {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic so concurrent AtpgSessions can consult the level while another
+// thread (re)configures it — the one process-global mutable in the
+// library.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* level_name(LogLevel level) {
   switch (level) {

@@ -1,9 +1,14 @@
 #include "circuits/catalog.hpp"
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "base/error.hpp"
 #include "circuits/embedded.hpp"
 #include "circuits/generator.hpp"
 #include "circuits/profiles.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/validate.hpp"
 
 namespace gdf::circuits {
 
@@ -26,4 +31,27 @@ net::Netlist load_circuit(const std::string& name) {
   return generate_iscas_like(profile_for(name));
 }
 
+net::Netlist load_circuit(const std::string& name,
+                          const std::string& bench_dir) {
+  if (!bench_dir.empty()) {
+    const std::filesystem::path path =
+        std::filesystem::path(bench_dir) / (name + ".bench");
+    if (std::filesystem::exists(path)) {
+      net::Netlist nl = net::read_bench_file(path.string());
+      net::validate_or_throw(nl);
+      return nl;
+    }
+  }
+  return load_circuit(name);
+}
+
+std::string resolve_bench_dir(const std::string& override_dir) {
+  if (!override_dir.empty()) {
+    return override_dir;
+  }
+  const char* env = std::getenv("GDF_BENCH_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
 }  // namespace gdf::circuits
+

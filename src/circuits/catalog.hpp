@@ -18,4 +18,16 @@ std::vector<std::string> catalog_names();
 /// names. The result is validated.
 net::Netlist load_circuit(const std::string& name);
 
+/// File-backed catalog: when `bench_dir` is non-empty and contains
+/// `<name>.bench`, that genuine netlist is parsed, validated and returned
+/// (so the Table-3 sweep runs the real ISCAS'89 circuits); otherwise falls
+/// back to load_circuit(name). A present-but-malformed file throws rather
+/// than silently substituting.
+net::Netlist load_circuit(const std::string& name,
+                          const std::string& bench_dir);
+
+/// The bench directory a sweep should use: `override_dir` when non-empty,
+/// else the GDF_BENCH_DIR environment variable, else "" (disabled).
+std::string resolve_bench_dir(const std::string& override_dir = "");
+
 }  // namespace gdf::circuits

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "base/error.hpp"
+#include "base/string_util.hpp"
+#include "circuits/catalog.hpp"
 
 namespace gdf::cli {
 
@@ -33,6 +35,47 @@ double parse_seconds(const std::string& flag, const std::string& text) {
         flag + " expects a non-negative number of seconds, got '" + text +
             "'");
   return value;
+}
+
+/// Splits a comma-separated axis value; rejects empty entries.
+std::vector<std::string> parse_list(const std::string& flag,
+                                    const std::string& text) {
+  const std::vector<std::string> parts = split(text, ',');
+  check(!parts.empty(), flag + " expects a comma-separated list");
+  for (const std::string& part : parts) {
+    check(!part.empty(), flag + ": empty entry in '" + text + "'");
+  }
+  return parts;
+}
+
+alg::Mode parse_mode(const std::string& flag, const std::string& text) {
+  if (text == "robust") {
+    return alg::Mode::Robust;
+  }
+  if (text == "nonrobust" || text == "non-robust") {
+    return alg::Mode::NonRobust;
+  }
+  throw Error(flag + " expects 'robust' or 'nonrobust', got '" + text + "'");
+}
+
+bool parse_on_off(const std::string& flag, const std::string& text) {
+  if (text == "on") {
+    return true;
+  }
+  if (text == "off") {
+    return false;
+  }
+  throw Error(flag + " expects 'on' or 'off', got '" + text + "'");
+}
+
+bool parse_sites(const std::string& flag, const std::string& text) {
+  if (text == "full") {
+    return true;
+  }
+  if (text == "stems") {
+    return false;
+  }
+  throw Error(flag + " expects 'full' or 'stems', got '" + text + "'");
 }
 
 }  // namespace
@@ -89,6 +132,36 @@ DriverConfig parse_args(int argc, const char* const* argv) {
     } else if (arg == "--no-branch-faults") {
       config.atpg.fault_sites.include_branches = false;
       config.atpg.expand_branches = false;
+    } else if (arg == "--jobs" || arg == "-j") {
+      config.jobs = static_cast<unsigned>(parse_int(arg, value_of(i, arg)));
+    } else if (arg == "--bench-dir") {
+      config.bench_dir = value_of(i, arg);
+    } else if (arg == "--no-seconds") {
+      config.no_seconds = true;
+    } else if (arg == "--fault-order") {
+      for (const std::string& part : parse_list(arg, value_of(i, arg))) {
+        config.fault_orders.push_back(run::parse_fault_order(part));
+      }
+    } else if (arg == "--modes") {
+      for (const std::string& part : parse_list(arg, value_of(i, arg))) {
+        config.modes.push_back(parse_mode(arg, part));
+      }
+    } else if (arg == "--seeds") {
+      for (const std::string& part : parse_list(arg, value_of(i, arg))) {
+        config.seeds.push_back(parse_u64(arg, part));
+      }
+    } else if (arg == "--backtracks") {
+      for (const std::string& part : parse_list(arg, value_of(i, arg))) {
+        config.backtrack_limits.push_back(parse_int(arg, part));
+      }
+    } else if (arg == "--dropping") {
+      for (const std::string& part : parse_list(arg, value_of(i, arg))) {
+        config.fault_dropping.push_back(parse_on_off(arg, part));
+      }
+    } else if (arg == "--fault-sites") {
+      for (const std::string& part : parse_list(arg, value_of(i, arg))) {
+        config.full_sites.push_back(parse_sites(arg, part));
+      }
     } else {
       throw Error("unknown option '" + arg + "' (see gdf_atpg --help)");
     }
@@ -99,7 +172,34 @@ DriverConfig parse_args(int argc, const char* const* argv) {
             !config.circuits.empty() || !config.bench_files.empty(),
         "nothing to do: pass --circuit NAME, --bench FILE, --all, or "
         "--list (see gdf_atpg --help)");
+  check(config.help || config.list_only ||
+            sweep_spec(config).cells_per_circuit() == 1 || config.csv,
+        "a parameter matrix (multi-valued --modes/--fault-order/--seeds/"
+        "--backtracks/--dropping/--fault-sites) produces CSV; pass --csv");
   return config;
+}
+
+run::SweepSpec sweep_spec(const DriverConfig& config) {
+  run::SweepSpec spec;
+  const std::vector<std::string> names =
+      config.all ? circuits::catalog_names() : config.circuits;
+  for (const std::string& name : names) {
+    spec.circuits.push_back(run::CircuitSource::catalog(name));
+  }
+  for (const std::string& path : config.bench_files) {
+    spec.circuits.push_back(run::CircuitSource::file(path));
+  }
+  spec.base = config.atpg;
+  spec.bench_dir = config.bench_dir;
+  spec.modes = config.modes;
+  spec.orders = config.fault_orders;
+  spec.seeds = config.seeds;
+  spec.backtrack_limits = config.backtrack_limits;
+  spec.fault_dropping = config.fault_dropping;
+  spec.full_sites = config.full_sites;
+  spec.jobs = config.jobs;
+  spec.include_seconds = !config.no_seconds;
+  return spec;
 }
 
 std::string usage() {
@@ -116,6 +216,24 @@ std::string usage() {
       "                          (repeatable; combines with --circuit)\n"
       "      --all               sweep the full circuit catalog\n"
       "      --list              print catalog circuit names and exit\n"
+      "      --bench-dir DIR     file-backed catalog: use DIR/<name>.bench\n"
+      "                          when present, generated substitute else\n"
+      "                          (default: $GDF_BENCH_DIR)\n"
+      "\n"
+      "parallelism:\n"
+      "  -j, --jobs N            worker threads for the sweep (0 = all\n"
+      "                          hardware threads) [0]; output order and\n"
+      "                          bytes are independent of N\n"
+      "\n"
+      "parameter matrices (comma-separated lists; the cross product runs\n"
+      "per circuit and adds config columns to the CSV — requires --csv):\n"
+      "      --modes LIST        robust,nonrobust\n"
+      "      --fault-order LIST  targeting order: static,random,adi\n"
+      "                          (adi = accidental-detection-index pass)\n"
+      "      --seeds LIST        X-fill seeds\n"
+      "      --backtracks LIST   local+sequential abort limits\n"
+      "      --dropping LIST     fault dropping: on,off\n"
+      "      --fault-sites LIST  full (stems+branches), stems\n"
       "\n"
       "flow configuration (defaults = paper setup):\n"
       "      --non-robust        non-robust algebra (§7 outlook / ablation)\n"
@@ -132,19 +250,10 @@ std::string usage() {
       "\n"
       "output:\n"
       "      --csv               CSV rows instead of the Table-3 text table\n"
+      "      --no-seconds        omit the wall-time column (byte-stable\n"
+      "                          output for diffing runs)\n"
       "      --stages            per-circuit Figure-4 stage counters\n"
       "  -h, --help              this message\n";
-}
-
-std::string csv_header() {
-  return "circuit,tested,untestable,aborted,patterns,seconds";
-}
-
-std::string format_csv_row(const core::Table3Row& row) {
-  std::ostringstream os;
-  os << row.circuit << ',' << row.tested << ',' << row.untestable << ','
-     << row.aborted << ',' << row.patterns << ',' << row.seconds;
-  return os.str();
 }
 
 }  // namespace gdf::cli

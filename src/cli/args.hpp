@@ -9,6 +9,7 @@
 
 #include "core/options.hpp"
 #include "core/report.hpp"
+#include "run/sweep.hpp"
 
 namespace gdf::cli {
 
@@ -23,18 +24,32 @@ struct DriverConfig {
   bool csv = false;                   ///< CSV rows instead of the text table
   bool stage_stats = false;           ///< per-circuit Figure-4 counters
   bool help = false;                  ///< usage requested
-  core::AtpgOptions atpg;             ///< flow configuration
+  bool no_seconds = false;            ///< omit the wall-time column
+  unsigned jobs = 0;                  ///< worker threads; 0 = hardware
+  std::string bench_dir;              ///< --bench-dir (else GDF_BENCH_DIR)
+  core::AtpgOptions atpg;             ///< flow configuration (base cell)
+
+  // Parameter-matrix axes (comma-separated flag values). Empty = just the
+  // base configuration. Any axis with two or more values turns the run
+  // into a matrix sweep, which requires --csv.
+  std::vector<alg::Mode> modes;
+  std::vector<run::FaultOrder> fault_orders;
+  std::vector<std::uint64_t> seeds;
+  std::vector<int> backtrack_limits;
+  std::vector<bool> fault_dropping;
+  std::vector<bool> full_sites;
 };
 
 /// Parses argv (argv[0] is skipped). Throws gdf::Error with a user-facing
 /// message on unknown flags, missing values, or malformed numbers.
 DriverConfig parse_args(int argc, const char* const* argv);
 
+/// The declarative sweep the configuration describes — what the driver
+/// hands to run::run_sweep, exposed so tests can assert CLI runs and
+/// in-process runs produce identical bytes.
+run::SweepSpec sweep_spec(const DriverConfig& config);
+
 /// The --help text.
 std::string usage();
-
-/// "circuit,tested,untestable,aborted,patterns,seconds"
-std::string csv_header();
-std::string format_csv_row(const core::Table3Row& row);
 
 }  // namespace gdf::cli

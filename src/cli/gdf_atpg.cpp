@@ -1,9 +1,14 @@
 // gdf_atpg — the command-line driver over the full FOGBUSTER flow.
 //
-//   gdf_atpg --circuit s27          one Table-3 row, text layout
-//   gdf_atpg --all --csv            sweep the catalog, CSV rows
-//   gdf_atpg --bench s344.bench     a real ISCAS'89 netlist from disk
+//   gdf_atpg --circuit s27             one Table-3 row, text layout
+//   gdf_atpg --all --csv --jobs 4      sweep the catalog on 4 workers
+//   gdf_atpg --bench s344.bench        a real ISCAS'89 netlist from disk
+//   gdf_atpg --all --csv --backtracks 10,100,1000   a parameter matrix
 //   gdf_atpg --circuit s298 --non-robust --seq-backtracks 500 --stages
+//
+// Every invocation is one declarative SweepSpec executed by the parallel
+// orchestrator (run/sweep); rows stream out in canonical order whatever
+// the worker count, so the bytes are identical for any --jobs value.
 //
 // Exit status: 0 on success, 1 on a user-facing error (unknown circuit or
 // option), 2 on an internal failure.
@@ -13,9 +18,8 @@
 #include "base/error.hpp"
 #include "circuits/catalog.hpp"
 #include "cli/args.hpp"
-#include "core/delay_atpg.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/validate.hpp"
+#include "core/report.hpp"
+#include "run/sweep.hpp"
 
 namespace gdf::cli {
 namespace {
@@ -32,35 +36,28 @@ int run(const DriverConfig& config) {
     return 0;
   }
 
-  const std::vector<std::string> names =
-      config.all ? circuits::catalog_names() : config.circuits;
-  // Validate every name and file up front so a typo late in the list
-  // doesn't waste a long sweep.
-  std::vector<net::Netlist> circuits;
-  circuits.reserve(names.size() + config.bench_files.size());
-  for (const std::string& name : names) {
-    circuits.push_back(circuits::load_circuit(name));
-  }
-  for (const std::string& path : config.bench_files) {
-    circuits.push_back(net::read_bench_file(path));
-    net::validate_or_throw(circuits.back());
-  }
-
-  std::printf("%s\n",
-              (config.csv ? csv_header() : core::table3_header()).c_str());
-  for (const net::Netlist& circuit : circuits) {
-    const core::FogbusterResult result =
-        core::run_delay_atpg(circuit, config.atpg);
-    const core::Table3Row row =
-        core::make_table3_row(circuit.name(), result);
-    std::printf("%s\n", (config.csv ? format_csv_row(row)
-                                    : core::format_table3_row(row))
-                            .c_str());
-    if (config.stage_stats) {
-      std::printf("%s\n", core::format_stage_stats(result.stages).c_str());
-    }
-    std::fflush(stdout);
-  }
+  const run::SweepSpec spec = sweep_spec(config);
+  run::run_sweep(
+      spec,
+      [&](const run::SweepRow& row) {
+        std::printf("%s\n", (config.csv
+                                 ? run::format_sweep_csv_row(spec, row)
+                                 : core::format_table3_row(row.table))
+                                .c_str());
+        if (config.stage_stats) {
+          std::printf("%s\n",
+                      core::format_stage_stats(row.stages).c_str());
+        }
+        std::fflush(stdout);
+      },
+      [&] {
+        // Header only after every circuit loaded and validated — a typo
+        // late in the list fails before any output, like the pre-sweep
+        // driver.
+        std::printf("%s\n", (config.csv ? run::sweep_csv_header(spec)
+                                        : core::table3_header())
+                                .c_str());
+      });
   return 0;
 }
 

@@ -7,7 +7,6 @@
 #include "base/timer.hpp"
 #include "core/verify.hpp"
 #include "fausim/fausim.hpp"
-#include "netlist/fanout.hpp"
 #include "semilet/propagate.hpp"
 #include "semilet/synchronize.hpp"
 #include "tdgen/local_test.hpp"
@@ -102,13 +101,31 @@ bool propagation_works_without_known(
 
 }  // namespace
 
+namespace {
+
+std::shared_ptr<const CircuitContext> require_context(
+    std::shared_ptr<const CircuitContext> ctx) {
+  check(ctx != nullptr, "Fogbuster: null circuit context");
+  return ctx;
+}
+
+}  // namespace
+
 Fogbuster::Fogbuster(const net::Netlist& circuit, AtpgOptions options)
-    : nl_(options.expand_branches ? net::expand_fanout_branches(circuit)
-                                  : circuit),
+    : Fogbuster(CircuitContext::build(circuit, options), options) {}
+
+Fogbuster::Fogbuster(std::shared_ptr<const CircuitContext> context,
+                     AtpgOptions options)
+    : ctx_(require_context(std::move(context))),
       options_(options),
-      model_(nl_),
       algebra_(&alg::algebra_for(options.mode)),
-      flat_(sim::FlatCircuit::build(nl_)) {}
+      fill_rng_(options.fill_seed),
+      fausim_(ctx_->flat()),
+      tdsim_(ctx_->model(), *algebra_) {
+  check(ctx_->structurally_compatible(options_),
+        "Fogbuster: context was built under different structural options "
+        "(expand_branches / fault_sites)");
+}
 
 bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
                              const std::vector<sim::InputVec>& prop_frames,
@@ -123,7 +140,7 @@ bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
       requirements.emplace_back(k, lv_from_bit(s0[k]));
     }
   }
-  semilet::Synchronizer synchronizer(flat_, budget);
+  semilet::Synchronizer synchronizer(ctx_->flat(), budget);
   semilet::SyncResult sync;
   const semilet::SeqStatus status =
       synchronizer.synchronize(std::move(requirements), &sync);
@@ -147,7 +164,7 @@ bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
   sequence.observed_at_po = local.observed_at_po;
 
   const VerifyReport report =
-      verify_sequence(model_, *algebra_, sequence);
+      verify_sequence(ctx_->model(), *algebra_, sequence);
   if (!report.ok) {
     ++stages->verify_rejections;
     return false;
@@ -180,7 +197,8 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
   };
 
   semilet::Budget budget(options_.sequential);
-  tdgen::TdgenSearch local_search(model_, *algebra_, fault, options_.local);
+  tdgen::TdgenSearch local_search(ctx_->model(), *algebra_, fault,
+                                  options_.local);
   LocalTest local;
 
   for (;;) {
@@ -213,7 +231,7 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
     // Boundary after the fast frame: the handoff of paper §6 — steady
     // clean values are known, carriers are the fault effect, everything
     // else is fixed-but-unknown (assignable only via TDgen re-entry).
-    const std::size_t n_ff = nl_.dffs().size();
+    const std::size_t n_ff = ctx_->netlist().dffs().size();
     sim::StateVec boundary(n_ff, Lv::X);
     std::vector<bool> assignable(n_ff, false);
     std::vector<std::size_t> needed;
@@ -239,7 +257,7 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
       }
     }
 
-    semilet::Propagator propagator(flat_, budget);
+    semilet::Propagator propagator(ctx_->flat(), budget);
     propagator.start(boundary, assignable);
     semilet::PropagationOutcome outcome;
     for (;;) {
@@ -266,14 +284,14 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
       std::vector<std::size_t> relied = needed;
       if (!outcome.boundary_requirements.empty()) {
         ++stages->reentries;
-        const sim::SeqSimulator twin_sim(flat_);
+        const sim::SeqSimulator twin_sim(ctx_->flat());
         const bool known_needed = !propagation_works_without_known(
             twin_sim, boundary, outcome.boundary_requirements,
             outcome.frames);
         if (!known_needed) {
           relied.clear();
         }
-        tdgen::TdgenSearch reentry(model_, *algebra_, fault,
+        tdgen::TdgenSearch reentry(ctx_->model(), *algebra_, fault,
                                    options_.local);
         for (std::size_t k = 0; k < n_ff; ++k) {
           switch (tdgen::classify_ppo(local.ppo_sets[k])) {
@@ -328,17 +346,47 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
   }
 }
 
-FogbusterResult Fogbuster::run() {
+tdsim::TdsimRequest make_tdsim_request(const net::Netlist& nl,
+                                       const fausim::Fausim& fausim,
+                                       const fausim::Fausim::GoodTrace& trace,
+                                       std::size_t fast_index,
+                                       std::vector<std::size_t> needed_ppos) {
+  const std::size_t fast = fast_index;
+  tdsim::TdsimRequest request;
+  request.stimulus.pi_sets.reserve(nl.inputs().size());
+  for (std::size_t p = 0; p < nl.inputs().size(); ++p) {
+    request.stimulus.pi_sets.push_back(alg::vset_primary_from_frames(
+        lv_bit(trace.filled[fast - 1][p]), lv_bit(trace.filled[fast][p])));
+  }
+  request.stimulus.ppi_sets.reserve(nl.dffs().size());
+  for (std::size_t k = 0; k < nl.dffs().size(); ++k) {
+    request.stimulus.ppi_sets.push_back(alg::vset_primary_from_frames(
+        lv_bit(trace.states[fast - 1][k]), lv_bit(trace.states[fast][k])));
+  }
+  request.observable_ppo = fausim.ppo_observability(
+      trace.states[fast + 1],
+      std::span<const sim::InputVec>(trace.filled).subspan(fast + 1));
+  request.needed_ppos = std::move(needed_ppos);
+  return request;
+}
+
+FogbusterResult Fogbuster::run() { return run({}); }
+
+FogbusterResult Fogbuster::run(std::span<const std::size_t> target_order) {
   const Stopwatch watch;
+  const net::Netlist& nl = ctx_->netlist();
   FogbusterResult result;
-  result.faults = tdgen::enumerate_faults(nl_, options_.fault_sites);
+  result.faults = ctx_->faults();
   result.status.assign(result.faults.size(), FaultStatus::Untested);
+  check(target_order.empty() || target_order.size() == result.faults.size(),
+        "Fogbuster::run: target order size does not match the fault list");
 
-  Rng fill_rng(options_.fill_seed);
-  fausim::Fausim fausim(flat_);
-  const tdsim::Tdsim tdsim(model_, *algebra_);
+  // Reentrancy: every run starts from the same X-fill stream, so repeated
+  // runs on one instance are bit-identical.
+  fill_rng_ = Rng(options_.fill_seed);
 
-  for (std::size_t i = 0; i < result.faults.size(); ++i) {
+  for (std::size_t pos = 0; pos < result.faults.size(); ++pos) {
+    const std::size_t i = target_order.empty() ? pos : target_order[pos];
     if (result.status[i] != FaultStatus::Untested) {
       continue;
     }
@@ -362,23 +410,9 @@ FogbusterResult Fogbuster::run() {
     // untested faults are simulated — detected ones are already dropped.
     const std::vector<sim::InputVec> frames = sequence.all_frames();
     const fausim::Fausim::GoodTrace trace =
-        fausim.simulate_good(frames, fill_rng);
-    const std::size_t fast = sequence.fast_index();
-    tdsim::TdsimRequest request;
-    request.stimulus.pi_sets.reserve(nl_.inputs().size());
-    for (std::size_t p = 0; p < nl_.inputs().size(); ++p) {
-      request.stimulus.pi_sets.push_back(alg::vset_primary_from_frames(
-          lv_bit(trace.filled[fast - 1][p]), lv_bit(trace.filled[fast][p])));
-    }
-    request.stimulus.ppi_sets.reserve(nl_.dffs().size());
-    for (std::size_t k = 0; k < nl_.dffs().size(); ++k) {
-      request.stimulus.ppi_sets.push_back(alg::vset_primary_from_frames(
-          lv_bit(trace.states[fast - 1][k]), lv_bit(trace.states[fast][k])));
-    }
-    request.observable_ppo = fausim.ppo_observability(
-        trace.states[fast + 1],
-        std::span<const sim::InputVec>(trace.filled).subspan(fast + 1));
-    request.needed_ppos = sequence.needed_ppos;
+        fausim_.simulate_good(frames, fill_rng_);
+    const tdsim::TdsimRequest request = make_tdsim_request(
+        nl, fausim_, trace, sequence.fast_index(), sequence.needed_ppos);
     std::vector<std::size_t> untested;
     std::vector<tdgen::DelayFault> targets;
     for (std::size_t j = 0; j < result.faults.size(); ++j) {
@@ -389,8 +423,8 @@ FogbusterResult Fogbuster::run() {
     }
     const std::vector<bool> detected =
         options_.tdsim_engine == TdsimEngine::Exact
-            ? tdsim.detect_exact(request, targets)
-            : tdsim.detect_cpt(request, targets);
+            ? tdsim_.detect_exact(request, targets)
+            : tdsim_.detect_cpt(request, targets);
     for (std::size_t t = 0; t < targets.size(); ++t) {
       if (detected[t]) {
         result.status[untested[t]] = FaultStatus::Tested;

@@ -17,15 +17,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "algebra/model.hpp"
+#include "base/rng.hpp"
+#include "core/context.hpp"
 #include "core/options.hpp"
 #include "core/test_sequence.hpp"
+#include "fausim/fausim.hpp"
 #include "netlist/netlist.hpp"
 #include "semilet/options.hpp"
 #include "sim/flat_circuit.hpp"
 #include "tdgen/fault.hpp"
+#include "tdsim/tdsim.hpp"
 
 namespace gdf::core {
 
@@ -69,18 +75,48 @@ struct FogbusterResult {
   int aborted() const { return count(FaultStatus::Aborted); }
 };
 
+/// Builds the phase-3 TDsim request for the fast frame of a simulated good
+/// trace: the two local frames as applied, plus FAUSIM's phase-2 PPO
+/// observability over the remaining (propagation) frames. Shared by the
+/// fault-dropping pass of the flow and by the accidental-detection-index
+/// ordering pass in run/.
+tdsim::TdsimRequest make_tdsim_request(const net::Netlist& nl,
+                                       const fausim::Fausim& fausim,
+                                       const fausim::Fausim::GoodTrace& trace,
+                                       std::size_t fast_index,
+                                       std::vector<std::size_t> needed_ppos);
+
 class Fogbuster {
  public:
   /// Takes the raw circuit; fanout branches are expanded internally when
-  /// options.expand_branches is set.
+  /// options.expand_branches is set. Builds a private CircuitContext.
   Fogbuster(const net::Netlist& circuit, AtpgOptions options = {});
 
-  /// The netlist faults refer to (expanded).
-  const net::Netlist& working_netlist() const { return nl_; }
-  const alg::AtpgModel& model() const { return model_; }
+  /// Shares an already-built context (the reentrant form: any number of
+  /// Fogbusters on one context, concurrently or in sequence). Throws
+  /// gdf::Error when the context was built under different structural
+  /// options (expand_branches / fault_sites).
+  Fogbuster(std::shared_ptr<const CircuitContext> context,
+            AtpgOptions options = {});
 
-  /// Full run over the fault list with fault dropping.
+  /// The netlist faults refer to (expanded).
+  const net::Netlist& working_netlist() const { return ctx_->netlist(); }
+  const alg::AtpgModel& model() const { return ctx_->model(); }
+  const std::shared_ptr<const CircuitContext>& context() const {
+    return ctx_;
+  }
+
+  /// Full run over the fault list with fault dropping. Reentrant: every
+  /// call resets the per-run state (X-fill RNG), so repeated runs on one
+  /// instance produce identical results.
   FogbusterResult run();
+
+  /// Like run(), but targets faults in the order given by
+  /// `target_order` (a permutation of fault-list indices; see
+  /// run/fault_order). The result vectors stay in canonical fault order —
+  /// only which fault gets explicitly targeted next changes, and with it
+  /// the dropping pattern and the test count.
+  FogbusterResult run(std::span<const std::size_t> target_order);
 
   /// Single-fault generation (no dropping); exposed for tests and for the
   /// flow-stage bench.
@@ -95,13 +131,16 @@ class Fogbuster {
                     semilet::Budget& budget, TestSequence* out,
                     StageStats* stages);
 
-  net::Netlist nl_;
+  /// Immutable shared structure (netlist, model, flat form, fault list).
+  std::shared_ptr<const CircuitContext> ctx_;
   AtpgOptions options_;
-  alg::AtpgModel model_;
   const alg::DelayAlgebra* algebra_;
-  /// Flat simulation form of nl_, built once and shared by every engine
-  /// the flow spawns (propagation, synchronization, fault simulation).
-  std::shared_ptr<const sim::FlatCircuit> flat_;
+  /// Per-run mutable engines, owned by this instance: the X-fill RNG
+  /// (reseeded at every run()) and the two fault simulators (const API,
+  /// instance-local scratch — never shared across threads).
+  Rng fill_rng_;
+  fausim::Fausim fausim_;
+  tdsim::Tdsim tdsim_;
 };
 
 }  // namespace gdf::core

@@ -1,0 +1,290 @@
+#include "run/sweep.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "base/error.hpp"
+#include "circuits/catalog.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/validate.hpp"
+#include "run/session.hpp"
+#include "run/thread_pool.hpp"
+
+namespace gdf::run {
+
+namespace {
+
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, T base_value) {
+  return axis.empty() ? std::vector<T>{base_value} : axis;
+}
+
+/// The structural slice of AtpgOptions — cells sharing it share one
+/// CircuitContext (same fields CircuitContext::structurally_compatible
+/// compares, via FaultListOptions::operator==).
+struct StructuralKey {
+  bool expand_branches;
+  tdgen::FaultListOptions sites;
+
+  explicit StructuralKey(const core::AtpgOptions& options)
+      : expand_branches(options.expand_branches),
+        sites(options.fault_sites) {}
+
+  bool operator==(const StructuralKey&) const = default;
+};
+
+/// One circuit's shared immutable state plus the lazily built contexts,
+/// one per structural key reached by the matrix.
+struct CircuitSlot {
+  net::Netlist nl;
+  std::mutex mutex;
+  std::vector<std::pair<StructuralKey, std::shared_ptr<const core::CircuitContext>>>
+      contexts;
+
+  std::shared_ptr<const core::CircuitContext> context_for(
+      const core::AtpgOptions& options) {
+    const StructuralKey key(options);
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& [k, ctx] : contexts) {
+      if (k == key) {
+        return ctx;
+      }
+    }
+    contexts.emplace_back(key, core::CircuitContext::build(nl, options));
+    return contexts.back().second;
+  }
+};
+
+const char* mode_name(alg::Mode mode) {
+  return mode == alg::Mode::Robust ? "robust" : "nonrobust";
+}
+
+}  // namespace
+
+CircuitSource CircuitSource::catalog(std::string catalog_name) {
+  CircuitSource source;
+  source.label = catalog_name;
+  source.name = std::move(catalog_name);
+  return source;
+}
+
+CircuitSource CircuitSource::file(std::string path) {
+  CircuitSource source;
+  // Same label the .bench reader derives (path stem), so --bench rows
+  // keep their pre-sweep circuit names.
+  source.label = std::filesystem::path(path).stem().string();
+  source.bench_path = std::move(path);
+  return source;
+}
+
+std::vector<CircuitSource> catalog_sources(
+    int argc, const char* const* argv,
+    const std::vector<std::string>& defaults) {
+  std::vector<CircuitSource> sources;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      sources.push_back(CircuitSource::catalog(argv[i]));
+    }
+  } else {
+    for (const std::string& name : defaults) {
+      sources.push_back(CircuitSource::catalog(name));
+    }
+  }
+  return sources;
+}
+
+std::size_t SweepSpec::cells_per_circuit() const {
+  return axis_or(modes, base.mode).size() *
+         axis_or(orders, FaultOrder::Static).size() *
+         axis_or(seeds, base.fill_seed).size() *
+         axis_or(backtrack_limits, base.local.backtrack_limit).size() *
+         axis_or(fault_dropping, base.fault_dropping).size() *
+         axis_or(full_sites, base.fault_sites.include_branches).size();
+}
+
+std::vector<SweepJob> expand(const SweepSpec& spec) {
+  const std::vector<alg::Mode> modes = axis_or(spec.modes, spec.base.mode);
+  const std::vector<FaultOrder> orders =
+      axis_or(spec.orders, FaultOrder::Static);
+  const std::vector<std::uint64_t> seeds =
+      axis_or(spec.seeds, spec.base.fill_seed);
+  const std::vector<int> backtracks =
+      axis_or(spec.backtrack_limits, spec.base.local.backtrack_limit);
+  const std::vector<bool> droppings =
+      axis_or(spec.fault_dropping, spec.base.fault_dropping);
+  const std::vector<bool> sites =
+      axis_or(spec.full_sites, spec.base.fault_sites.include_branches);
+
+  std::vector<SweepJob> jobs;
+  jobs.reserve(spec.circuits.size() * spec.cells_per_circuit());
+  for (const CircuitSource& circuit : spec.circuits) {
+    for (const alg::Mode mode : modes) {
+      for (const FaultOrder order : orders) {
+        for (const std::uint64_t seed : seeds) {
+          for (const int backtrack : backtracks) {
+            for (const bool dropping : droppings) {
+              for (const bool full : sites) {
+                SweepJob job;
+                job.index = jobs.size();
+                job.circuit = circuit;
+                job.order = order;
+                job.options = spec.base;
+                job.options.mode = mode;
+                job.options.fill_seed = seed;
+                job.options.local.backtrack_limit = backtrack;
+                job.options.sequential.backtrack_limit = backtrack;
+                job.options.fault_dropping = dropping;
+                // Mirrors --no-branch-faults: a 'full' cell expands the
+                // fanout branches and enumerates faults on them, a
+                // 'stems' cell does neither — the two site models really
+                // are two different fault populations, whatever the base
+                // configuration says.
+                job.options.fault_sites.include_branches = full;
+                job.options.expand_branches = full;
+                jobs.push_back(std::move(job));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+std::string sweep_csv_header(const SweepSpec& spec) {
+  std::string header = "circuit";
+  if (spec.has_matrix()) {
+    header += ",mode,order,seed,backtracks,dropping,sites";
+  }
+  header += ",tested,untestable,aborted,patterns";
+  if (spec.include_seconds) {
+    header += ",seconds";
+  }
+  return header;
+}
+
+std::string format_sweep_csv_row(const SweepSpec& spec,
+                                 const SweepRow& row) {
+  std::ostringstream os;
+  os << row.table.circuit;
+  if (spec.has_matrix()) {
+    const core::AtpgOptions& o = row.job.options;
+    os << ',' << mode_name(o.mode) << ',' << fault_order_name(row.job.order)
+       << ',' << o.fill_seed << ',' << o.local.backtrack_limit << '/'
+       << o.sequential.backtrack_limit << ','
+       << (o.fault_dropping ? "on" : "off") << ','
+       << (o.fault_sites.include_branches ? "full" : "stems");
+  }
+  os << ',' << row.table.tested << ',' << row.table.untestable << ','
+     << row.table.aborted << ',' << row.table.patterns;
+  if (spec.include_seconds) {
+    os << ',' << row.table.seconds;
+  }
+  return os.str();
+}
+
+void run_sweep(const SweepSpec& spec,
+               const std::function<void(const SweepRow&)>& emit,
+               const std::function<void()>& on_ready) {
+  // Load and validate every circuit up front, serially: a typo or a
+  // malformed .bench file fails before any ATPG time is spent, and the
+  // workers then only ever read the slots.
+  const std::string bench_dir = circuits::resolve_bench_dir(spec.bench_dir);
+  std::vector<std::unique_ptr<CircuitSlot>> slots;
+  slots.reserve(spec.circuits.size());
+  for (const CircuitSource& source : spec.circuits) {
+    auto slot = std::make_unique<CircuitSlot>();
+    if (!source.bench_path.empty()) {
+      slot->nl = net::read_bench_file(source.bench_path);
+      net::validate_or_throw(slot->nl);
+    } else {
+      slot->nl = circuits::load_circuit(source.name, bench_dir);
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  if (on_ready) {
+    on_ready();
+  }
+
+  const std::vector<SweepJob> jobs = expand(spec);
+  const std::size_t cells = spec.cells_per_circuit();
+
+  // Indexed result channel: workers publish at their canonical position,
+  // the caller drains in order. A slot is either a row or an exception.
+  struct Cell {
+    std::unique_ptr<SweepRow> row;
+    std::exception_ptr error;
+    bool ready = false;
+  };
+  std::vector<Cell> channel(jobs.size());
+  std::mutex mutex;
+  std::condition_variable published;
+  bool cancelled = false;
+
+  {
+    // No point spawning more workers than there are jobs (a default
+    // --jobs 0 single-circuit run on a many-core host would otherwise
+    // create a pile of threads that never pop a task).
+    ThreadPool pool(std::min<unsigned>(
+        ThreadPool::resolve_jobs(spec.jobs),
+        static_cast<unsigned>(std::max<std::size_t>(1, jobs.size()))));
+    for (const SweepJob& job : jobs) {
+      CircuitSlot* slot = slots[job.index / cells].get();
+      pool.submit([&, slot, &job = jobs[job.index]] {
+        Cell cell;
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (cancelled) {
+            cell.ready = true;  // publish an empty cell so nobody waits
+          }
+        }
+        if (!cell.ready) {
+          try {
+            AtpgSession session(slot->context_for(job.options), job.options,
+                                job.order);
+            const core::FogbusterResult result = session.run();
+            cell.row = std::make_unique<SweepRow>();
+            cell.row->job = job;
+            cell.row->table =
+                core::make_table3_row(job.circuit.label, result);
+            cell.row->stages = result.stages;
+          } catch (...) {
+            cell.error = std::current_exception();
+          }
+          cell.ready = true;
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          channel[job.index] = std::move(cell);
+        }
+        published.notify_all();
+      });
+    }
+
+    // Deterministic emission: row i is handed out only after rows 0..i-1,
+    // whatever order the workers finish in.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::unique_lock<std::mutex> lock(mutex);
+      published.wait(lock, [&] { return channel[i].ready; });
+      if (channel[i].error) {
+        cancelled = true;  // remaining workers fast-forward
+        std::exception_ptr error = channel[i].error;
+        lock.unlock();
+        std::rethrow_exception(error);
+      }
+      const std::unique_ptr<SweepRow> row = std::move(channel[i].row);
+      lock.unlock();
+      emit(*row);
+    }
+  }  // joins the pool before the channel goes out of scope
+}
+
+}  // namespace gdf::run

@@ -1,0 +1,116 @@
+// Declarative parameter sweeps over the ATPG engine.
+//
+// A SweepSpec names the circuits to run and, per knob, the list of values
+// to fan out (mode × fault order × seed × backtrack limit × dropping ×
+// fault sites — empty axis = "just the base option"). expand() turns that
+// into the canonical job list: circuit-major, then the axes in the order
+// above, each cell a fully resolved AtpgOptions. Every Table-3 row and
+// every bench/ ablation in the repo is one such spec.
+//
+// run_sweep() executes the jobs on a work-stealing pool (--jobs N) and
+// hands finished rows to the caller **in canonical order** no matter when
+// they complete: workers publish into an indexed channel and the calling
+// thread emits row i only after rows 0..i-1. Per-job results depend only
+// on that job's options (each job is one AtpgSession with its own RNG and
+// engines; contexts are shared read-only), so the emitted bytes are
+// identical for any worker count — the determinism ctest asserts jobs=1
+// versus jobs=4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/report.hpp"
+#include "run/fault_order.hpp"
+
+namespace gdf::run {
+
+/// One circuit to sweep: either a catalog name (honoring the file-backed
+/// bench_dir) or an explicit .bench file from disk.
+struct CircuitSource {
+  std::string label;       ///< CSV "circuit" column
+  std::string name;        ///< catalog name; empty when file-backed
+  std::string bench_path;  ///< .bench path; empty when from the catalog
+
+  static CircuitSource catalog(std::string catalog_name);
+  static CircuitSource file(std::string path);
+};
+
+/// Catalog sources from a harness's argv tail (argv[1..]), or `defaults`
+/// when no names were passed — the shared front door of the bench/
+/// ablation harnesses.
+std::vector<CircuitSource> catalog_sources(
+    int argc, const char* const* argv,
+    const std::vector<std::string>& defaults);
+
+struct SweepSpec {
+  std::vector<CircuitSource> circuits;
+  /// Base configuration; axes below override per cell. Knobs without an
+  /// axis (e.g. tdsim engine, per-fault cap) apply to every cell.
+  core::AtpgOptions base;
+  /// Root of genuine ISCAS'89 .bench files overriding the generated
+  /// catalog ("" = generated substitutes only). See circuits::
+  /// resolve_bench_dir for the GDF_BENCH_DIR fallback.
+  std::string bench_dir;
+
+  // Matrix axes; an empty axis means one cell with the base value.
+  std::vector<alg::Mode> modes;
+  std::vector<FaultOrder> orders;
+  std::vector<std::uint64_t> seeds;
+  /// Applied to both the local and the sequential limit, like the paper's
+  /// symmetric 100/100 policy.
+  std::vector<int> backtrack_limits;
+  std::vector<bool> fault_dropping;
+  /// true = gate outputs + fanout branches (paper), false = stems only.
+  std::vector<bool> full_sites;
+
+  unsigned jobs = 0;            ///< worker threads; 0 = hardware concurrency
+  bool include_seconds = true;  ///< emit the wall-time column
+
+  /// Cells per circuit (product of the axis sizes).
+  std::size_t cells_per_circuit() const;
+  /// True when more than one cell per circuit (CSV grows config columns).
+  bool has_matrix() const { return cells_per_circuit() > 1; }
+};
+
+/// One fully resolved unit of work.
+struct SweepJob {
+  std::size_t index = 0;  ///< canonical position
+  CircuitSource circuit;
+  core::AtpgOptions options;
+  FaultOrder order = FaultOrder::Static;
+};
+
+/// The canonical job list: circuit-major, axes in declaration order.
+std::vector<SweepJob> expand(const SweepSpec& spec);
+
+struct SweepRow {
+  SweepJob job;
+  core::Table3Row table;
+  core::StageStats stages;
+};
+
+/// CSV rendering. Without a matrix this is exactly the legacy layout
+/// ("circuit,tested,untestable,aborted,patterns,seconds"); with one, the
+/// configuration columns (mode, order, seed, backtracks, dropping, sites)
+/// are inserted after the circuit. include_seconds=false drops the
+/// nondeterministic wall-time column — what the byte-identity tests
+/// compare.
+std::string sweep_csv_header(const SweepSpec& spec);
+std::string format_sweep_csv_row(const SweepSpec& spec, const SweepRow& row);
+
+/// Runs the whole spec; `emit` is invoked on the calling thread, once per
+/// job, in canonical order, as soon as each next row is available. A
+/// worker exception is rethrown on the calling thread at its job's
+/// canonical position (later jobs are abandoned). `on_ready`, if given,
+/// runs after every circuit has loaded and validated but before any job —
+/// the place to print a header, so a bad circuit name aborts cleanly
+/// without partial output.
+void run_sweep(const SweepSpec& spec,
+               const std::function<void(const SweepRow&)>& emit,
+               const std::function<void()>& on_ready = {});
+
+}  // namespace gdf::run

@@ -1,0 +1,76 @@
+#include "run/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gdf::run {
+
+ThreadPool::ThreadPool(unsigned threads)
+    : queues_(std::max(1u, threads)) {
+  threads_.reserve(queues_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::size_t self, std::function<void()>* task) {
+  if (!queues_[self].empty()) {
+    *task = std::move(queues_[self].back());
+    queues_[self].pop_back();
+    return true;
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    std::deque<std::function<void()>>& victim =
+        queues_[(self + k) % queues_.size()];
+    if (!victim.empty()) {
+      *task = std::move(victim.front());
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || pop_task(self, &task); });
+      if (!task) {
+        return;  // stop requested and nothing left to run
+      }
+    }
+    task();
+  }
+}
+
+unsigned ThreadPool::resolve_jobs(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace gdf::run

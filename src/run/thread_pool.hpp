@@ -1,0 +1,62 @@
+// A small work-stealing thread pool for whole-ATPG-run granularity.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from the other workers when its deque runs dry, so a skewed
+// submission (one circuit far slower than the rest) still keeps every
+// worker busy. Tasks here are entire ATPG runs — seconds each — so all
+// deques share one mutex; the queue operations are nanoseconds against
+// that grain and a single lock keeps the pool trivially race-free.
+//
+// The pool never touches the results: tasks communicate through whatever
+// channel the caller closes over (see SweepOrchestrator, which restores
+// deterministic ordering on the consumer side).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdf::run {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+
+  /// Signals shutdown and joins. Tasks still queued when the destructor
+  /// runs are dropped, not executed — drain your channel first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (round-robin across worker deques). Thread-safe.
+  void submit(std::function<void()> task);
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Maps a --jobs style request onto a worker count: 0 means "use the
+  /// hardware", and the result is always at least 1.
+  static unsigned resolve_jobs(unsigned requested);
+
+ private:
+  void worker_loop(std::size_t self);
+  /// Pops the next task for worker `self` (own back first, then steal
+  /// another deque's front). Caller holds mutex_.
+  bool pop_task(std::size_t self, std::function<void()>* task);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::size_t next_queue_ = 0;  ///< round-robin submission cursor
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gdf::run

@@ -27,6 +27,8 @@ struct FaultListOptions {
   bool include_pi_lines = true;      ///< faults on primary-input lines
   bool include_ppi_lines = true;     ///< faults on flip-flop output lines
   bool include_branches = true;      ///< faults on fanout-branch buffers
+
+  bool operator==(const FaultListOptions&) const = default;
 };
 
 /// Enumerates StR and StF faults for every selected line of `nl`

@@ -1,0 +1,36 @@
+# End-to-end determinism check on the gdf_atpg binary itself: a
+# multi-circuit sweep must emit byte-identical CSV at --jobs 1 and
+# --jobs 4 (the wall-time column is dropped via --no-seconds). Registered
+# by tests/CMakeLists.txt as the `cli_jobs_determinism` ctest.
+#
+# Usage: cmake -DGDF_ATPG=<path> -P check_jobs_determinism.cmake
+
+set(sweep_args --circuit s27 --circuit c17 --csv --no-seconds)
+
+execute_process(
+  COMMAND ${GDF_ATPG} ${sweep_args} --jobs 1
+  OUTPUT_VARIABLE serial_out
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg --jobs 1 failed (rc=${serial_rc})")
+endif()
+
+execute_process(
+  COMMAND ${GDF_ATPG} ${sweep_args} --jobs 4
+  OUTPUT_VARIABLE parallel_out
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg --jobs 4 failed (rc=${parallel_rc})")
+endif()
+
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR "--jobs 1 and --jobs 4 output differs:\n"
+                      "=== jobs 1 ===\n${serial_out}\n"
+                      "=== jobs 4 ===\n${parallel_out}")
+endif()
+
+string(LENGTH "${serial_out}" out_len)
+if(out_len EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg produced no output")
+endif()
+message(STATUS "jobs=1 and jobs=4 output byte-identical (${out_len} bytes)")

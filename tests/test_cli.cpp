@@ -45,6 +45,50 @@ TEST(ArgsTest, UsageMentionsNewFlags) {
   const std::string text = usage();
   EXPECT_NE(text.find("--bench"), std::string::npos);
   EXPECT_NE(text.find("--tdsim"), std::string::npos);
+  EXPECT_NE(text.find("--jobs"), std::string::npos);
+  EXPECT_NE(text.find("--fault-order"), std::string::npos);
+  EXPECT_NE(text.find("--bench-dir"), std::string::npos);
+}
+
+TEST(ArgsTest, JobsAndBenchDir) {
+  const DriverConfig config =
+      parse({"--all", "--jobs", "4", "--bench-dir", "/tmp/iscas"});
+  EXPECT_EQ(config.jobs, 4u);
+  EXPECT_EQ(config.bench_dir, "/tmp/iscas");
+  EXPECT_EQ(parse({"--all"}).jobs, 0u);  // 0 = hardware concurrency
+}
+
+TEST(ArgsTest, MatrixAxesAreCommaLists) {
+  const DriverConfig config = parse(
+      {"--all", "--csv", "--backtracks", "10,100", "--modes",
+       "robust,nonrobust", "--fault-order", "static,adi", "--seeds", "1,2",
+       "--dropping", "on,off", "--fault-sites", "full,stems"});
+  EXPECT_EQ(config.backtrack_limits, (std::vector<int>{10, 100}));
+  EXPECT_EQ(config.modes,
+            (std::vector<alg::Mode>{alg::Mode::Robust,
+                                    alg::Mode::NonRobust}));
+  EXPECT_EQ(config.fault_orders,
+            (std::vector<run::FaultOrder>{run::FaultOrder::Static,
+                                          run::FaultOrder::Adi}));
+  EXPECT_EQ(config.seeds, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(config.fault_dropping, (std::vector<bool>{true, false}));
+  EXPECT_EQ(config.full_sites, (std::vector<bool>{true, false}));
+  EXPECT_EQ(sweep_spec(config).cells_per_circuit(), 64u);
+}
+
+TEST(ArgsTest, MatrixRequiresCsv) {
+  EXPECT_THROW(parse({"--all", "--backtracks", "10,100"}), Error);
+  EXPECT_NO_THROW(parse({"--all", "--csv", "--backtracks", "10,100"}));
+  // A single-valued axis is not a matrix and stays text-table friendly.
+  EXPECT_NO_THROW(parse({"--all", "--fault-order", "adi"}));
+}
+
+TEST(ArgsTest, BadAxisValuesThrow) {
+  EXPECT_THROW(parse({"--all", "--csv", "--modes", "fast"}), Error);
+  EXPECT_THROW(parse({"--all", "--csv", "--fault-order", "best"}), Error);
+  EXPECT_THROW(parse({"--all", "--csv", "--dropping", "maybe"}), Error);
+  EXPECT_THROW(parse({"--all", "--csv", "--fault-sites", "none"}), Error);
+  EXPECT_THROW(parse({"--all", "--csv", "--seeds", "1,,2"}), Error);
 }
 
 // The two TDsim engines must be interchangeable from one binary: the full

@@ -1,0 +1,281 @@
+// The run/ layer: reentrant sessions over a shared CircuitContext, the
+// work-stealing pool, fault-ordering policies, and the parallel sweep
+// orchestrator's deterministic canonical-order emission.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "circuits/catalog.hpp"
+#include "cli/args.hpp"
+#include "netlist/bench_io.hpp"
+#include "core/delay_atpg.hpp"
+#include "run/fault_order.hpp"
+#include "run/session.hpp"
+#include "run/sweep.hpp"
+#include "run/thread_pool.hpp"
+
+namespace gdf::run {
+namespace {
+
+/// Summary equality: everything a Table-3/CSV row is built from.
+void expect_same_result(const core::FogbusterResult& a,
+                        const core::FogbusterResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.pattern_count, b.pattern_count);
+  EXPECT_EQ(a.tests.size(), b.tests.size());
+  EXPECT_EQ(a.stages.targeted, b.stages.targeted);
+  EXPECT_EQ(a.stages.dropped, b.stages.dropped);
+}
+
+TEST(CircuitContextTest, IsSharedAndStructurallyChecked) {
+  const net::Netlist nl = circuits::load_circuit("s27");
+  const auto ctx = core::CircuitContext::build(nl);
+  EXPECT_GT(ctx->faults().size(), 0u);
+  EXPECT_TRUE(ctx->structurally_compatible({}));
+
+  core::AtpgOptions stems;
+  stems.fault_sites.include_branches = false;
+  stems.expand_branches = false;
+  EXPECT_FALSE(ctx->structurally_compatible(stems));
+  EXPECT_THROW(AtpgSession(ctx, stems), Error);
+}
+
+// Two runs on one session, two sessions on one context, and a fresh
+// standalone run must all be bit-identical — the reentrancy contract.
+TEST(AtpgSessionTest, ReuseMatchesFreshRuns) {
+  const net::Netlist nl = circuits::load_circuit("s27");
+  const auto ctx = core::CircuitContext::build(nl);
+
+  AtpgSession session_a(ctx);
+  const core::FogbusterResult first = session_a.run();
+  const core::FogbusterResult second = session_a.run();
+  expect_same_result(first, second);
+
+  AtpgSession session_b(ctx);
+  expect_same_result(first, session_b.run());
+
+  expect_same_result(first, core::run_delay_atpg(nl));
+}
+
+TEST(AtpgSessionTest, NonDefaultOptionsStayPerSession) {
+  const net::Netlist nl = circuits::load_circuit("s27");
+  const auto ctx = core::CircuitContext::build(nl);
+
+  core::AtpgOptions no_drop;
+  no_drop.fault_dropping = false;
+  AtpgSession dropping(ctx);
+  AtpgSession no_dropping(ctx, no_drop);
+  const core::FogbusterResult with = dropping.run();
+  const core::FogbusterResult without = no_dropping.run();
+  EXPECT_GT(without.stages.targeted, with.stages.targeted);
+  EXPECT_EQ(without.stages.dropped, 0);
+  // The shared context is untouched: rerunning the first session still
+  // reproduces its result.
+  expect_same_result(with, dropping.run());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    // Destructor note: tasks queued at shutdown are dropped, so give the
+    // pool a chance to drain by spinning on the counter.
+    while (counter.load() < 100) {
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);
+}
+
+TEST(FaultOrderTest, NamesRoundTrip) {
+  for (const FaultOrder order :
+       {FaultOrder::Static, FaultOrder::Random, FaultOrder::Adi}) {
+    EXPECT_EQ(parse_fault_order(fault_order_name(order)), order);
+  }
+  EXPECT_THROW(parse_fault_order("alphabetical"), Error);
+}
+
+TEST(FaultOrderTest, PermutationsAreValidAndDeterministic) {
+  const net::Netlist nl = circuits::load_circuit("s27");
+  const auto ctx = core::CircuitContext::build(nl);
+  const core::AtpgOptions options;
+  for (const FaultOrder order :
+       {FaultOrder::Static, FaultOrder::Random, FaultOrder::Adi}) {
+    const std::vector<std::size_t> perm =
+        make_fault_order(*ctx, order, options);
+    EXPECT_EQ(perm.size(), ctx->faults().size());
+    EXPECT_EQ(std::set<std::size_t>(perm.begin(), perm.end()).size(),
+              perm.size())
+        << fault_order_name(order) << " is not a permutation";
+    EXPECT_EQ(perm, make_fault_order(*ctx, order, options));
+  }
+  // Static is the identity: same flow as the paper's setup.
+  const std::vector<std::size_t> id =
+      make_fault_order(*ctx, FaultOrder::Static, options);
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    EXPECT_EQ(id[i], i);
+  }
+}
+
+// Whatever the targeting order, the per-fault classification work is the
+// same — only test count/pattern mix may shift. Sanity: every fault ends
+// classified and the session completes.
+TEST(FaultOrderTest, OrderedRunsClassifyEveryFault) {
+  const net::Netlist nl = circuits::load_circuit("s27");
+  const auto ctx = core::CircuitContext::build(nl);
+  for (const FaultOrder order :
+       {FaultOrder::Static, FaultOrder::Random, FaultOrder::Adi}) {
+    AtpgSession session(ctx, {}, order);
+    const core::FogbusterResult result = session.run();
+    EXPECT_EQ(result.status.size(), ctx->faults().size());
+    for (const core::FaultStatus s : result.status) {
+      EXPECT_NE(s, core::FaultStatus::Untested);
+    }
+  }
+}
+
+TEST(SweepSpecTest, ExpansionIsCanonicalAndCircuitMajor) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s27"),
+                   CircuitSource::catalog("c17")};
+  spec.backtrack_limits = {10, 100};
+  spec.seeds = {1, 2, 3};
+  EXPECT_EQ(spec.cells_per_circuit(), 6u);
+  EXPECT_TRUE(spec.has_matrix());
+
+  const std::vector<SweepJob> jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 12u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].circuit.label, i < 6 ? "s27" : "c17");
+  }
+  // Seed-major before backtracks (axis declaration order).
+  EXPECT_EQ(jobs[0].options.fill_seed, 1u);
+  EXPECT_EQ(jobs[0].options.local.backtrack_limit, 10);
+  EXPECT_EQ(jobs[1].options.local.backtrack_limit, 100);
+  EXPECT_EQ(jobs[2].options.fill_seed, 2u);
+  // Backtrack cells set both engines' limits.
+  EXPECT_EQ(jobs[0].options.sequential.backtrack_limit, 10);
+}
+
+// A 'full' sites cell means the paper's fault model even when the base
+// configuration disabled branches: expansion and enumeration follow the
+// axis, so the CSV sites column never lies.
+TEST(SweepSpecTest, SitesAxisOverridesBaseBranchConfig) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s27")};
+  spec.base.fault_sites.include_branches = false;
+  spec.base.expand_branches = false;
+  spec.full_sites = {true, false};
+  const std::vector<SweepJob> jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_TRUE(jobs[0].options.fault_sites.include_branches);
+  EXPECT_TRUE(jobs[0].options.expand_branches);
+  EXPECT_FALSE(jobs[1].options.fault_sites.include_branches);
+  EXPECT_FALSE(jobs[1].options.expand_branches);
+}
+
+TEST(SweepSpecTest, SingleCellKeepsLegacyCsvLayout) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s27")};
+  EXPECT_EQ(sweep_csv_header(spec),
+            "circuit,tested,untestable,aborted,patterns,seconds");
+  spec.include_seconds = false;
+  EXPECT_EQ(sweep_csv_header(spec),
+            "circuit,tested,untestable,aborted,patterns");
+  spec.modes = {alg::Mode::Robust, alg::Mode::NonRobust};
+  EXPECT_EQ(sweep_csv_header(spec),
+            "circuit,mode,order,seed,backtracks,dropping,sites,"
+            "tested,untestable,aborted,patterns");
+}
+
+std::string csv_of_sweep(SweepSpec spec, unsigned jobs) {
+  spec.jobs = jobs;
+  spec.include_seconds = false;
+  std::string out = sweep_csv_header(spec) + "\n";
+  run_sweep(spec, [&](const SweepRow& row) {
+    out += format_sweep_csv_row(spec, row) + "\n";
+  });
+  return out;
+}
+
+// The tentpole determinism contract: a multi-circuit (matrix) sweep emits
+// byte-identical CSV at --jobs 1 and --jobs 4.
+TEST(SweepOrchestratorTest, JobCountDoesNotChangeTheBytes) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s27"),
+                   CircuitSource::catalog("c17")};
+  spec.backtrack_limits = {10, 100};
+  spec.fault_dropping = {true, false};
+
+  const std::string serial = csv_of_sweep(spec, 1);
+  const std::string parallel = csv_of_sweep(spec, 4);
+  EXPECT_EQ(serial, parallel);
+  // 2 circuits × 2 backtracks × 2 dropping = 8 rows + header.
+  EXPECT_EQ(static_cast<int>(
+                std::count(serial.begin(), serial.end(), '\n')),
+            9);
+}
+
+// File-backed catalog: a .bench file in the bench dir overrides the
+// generated substitute; absent files fall back silently.
+TEST(FileBackedCatalogTest, BenchDirOverridesGeneratedCircuits) {
+  const std::string dir = ::testing::TempDir() + "gdf_bench_dir";
+  std::filesystem::create_directories(dir);
+  // Masquerade c17's netlist as "s344": if the override is honored, the
+  // loaded circuit has c17's size, not the generated s344 profile's.
+  const net::Netlist c17 = circuits::load_circuit("c17");
+  {
+    std::ofstream out(dir + "/s344.bench");
+    out << net::write_bench(c17);
+  }
+  const net::Netlist overridden = circuits::load_circuit("s344", dir);
+  EXPECT_EQ(overridden.size(), c17.size());
+  const net::Netlist fallback = circuits::load_circuit("s386", dir);
+  EXPECT_EQ(fallback.size(), circuits::load_circuit("s386").size());
+  // Explicit --bench-dir wins over the environment.
+  EXPECT_EQ(circuits::resolve_bench_dir(dir), dir);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepOrchestratorTest, ErrorsSurfaceOnTheCallingThread) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("no-such-circuit")};
+  EXPECT_THROW(run_sweep(spec, [](const SweepRow&) {}), Error);
+}
+
+// The CLI builds its sweep through the same spec/formatting functions, so
+// in-process expectations transfer to the binary byte-for-byte.
+TEST(SweepOrchestratorTest, CliSpecMatchesInProcessSweep) {
+  const char* argv[] = {"gdf_atpg", "--circuit", "s27", "--csv",
+                        "--no-seconds", "--jobs", "2"};
+  const cli::DriverConfig config =
+      cli::parse_args(static_cast<int>(std::size(argv)), argv);
+  const SweepSpec spec = cli::sweep_spec(config);
+  EXPECT_EQ(spec.jobs, 2u);
+  EXPECT_FALSE(spec.include_seconds);
+  ASSERT_EQ(spec.circuits.size(), 1u);
+  EXPECT_EQ(spec.circuits[0].name, "s27");
+
+  const std::string csv = csv_of_sweep(spec, 2);
+  EXPECT_NE(csv.find("s27,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdf::run
