@@ -134,6 +134,14 @@ DriverConfig parse_args(int argc, const char* const* argv) {
       config.atpg.expand_branches = false;
     } else if (arg == "--jobs" || arg == "-j") {
       config.jobs = static_cast<unsigned>(parse_int(arg, value_of(i, arg)));
+    } else if (arg == "--shard-faults") {
+      const std::size_t epoch = config.shard.epoch_size;
+      config.shard = run::parse_shard_faults(value_of(i, arg));
+      config.shard.epoch_size = epoch;  // flag order must not matter
+    } else if (arg == "--shard-epoch") {
+      const int epoch = parse_int(arg, value_of(i, arg));
+      check(epoch > 0, "--shard-epoch expects a positive epoch size");
+      config.shard.epoch_size = static_cast<std::size_t>(epoch);
     } else if (arg == "--bench-dir") {
       config.bench_dir = value_of(i, arg);
     } else if (arg == "--no-seconds") {
@@ -199,6 +207,7 @@ run::SweepSpec sweep_spec(const DriverConfig& config) {
   spec.full_sites = config.full_sites;
   spec.jobs = config.jobs;
   spec.include_seconds = !config.no_seconds;
+  spec.shard = config.shard;
   return spec;
 }
 
@@ -224,6 +233,13 @@ std::string usage() {
       "  -j, --jobs N            worker threads for the sweep (0 = all\n"
       "                          hardware threads) [0]; output order and\n"
       "                          bytes are independent of N\n"
+      "      --shard-faults P    intra-circuit fault sharding: 'auto'\n"
+      "                          (large circuits fan their fault list\n"
+      "                          into generation epochs on idle workers),\n"
+      "                          'off', or a forced worker count [auto];\n"
+      "                          bytes are independent of P\n"
+      "      --shard-epoch N     faults generated per epoch between\n"
+      "                          dropping barriers [4x workers]\n"
       "\n"
       "parameter matrices (comma-separated lists; the cross product runs\n"
       "per circuit and adds config columns to the CSV — requires --csv):\n"

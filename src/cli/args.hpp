@@ -28,6 +28,13 @@ struct DriverConfig {
   unsigned jobs = 0;                  ///< worker threads; 0 = hardware
   std::string bench_dir;              ///< --bench-dir (else GDF_BENCH_DIR)
   core::AtpgOptions atpg;             ///< flow configuration (base cell)
+  /// Intra-circuit fault sharding (--shard-faults auto|N|off and
+  /// --shard-epoch). Defaults to auto: large circuits shard across idle
+  /// workers; the emitted bytes never depend on it.
+  run::ShardConfig shard{.policy = run::ShardConfig::Policy::Auto,
+                         .workers = 0,
+                         .epoch_size = 0,
+                         .min_faults = 1500};
 
   // Parameter-matrix axes (comma-separated flag values). Empty = just the
   // base configuration. Any axis with two or more values turns the run

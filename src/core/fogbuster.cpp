@@ -57,6 +57,24 @@ int FogbusterResult::count(FaultStatus s) const {
   return static_cast<int>(std::count(status.begin(), status.end(), s));
 }
 
+void StageStats::add(const StageStats& other) {
+  targeted += other.targeted;
+  local_solutions += other.local_solutions;
+  po_observed += other.po_observed;
+  ppo_observed += other.ppo_observed;
+  prop_attempts += other.prop_attempts;
+  prop_failures += other.prop_failures;
+  reentries += other.reentries;
+  reentry_failures += other.reentry_failures;
+  sync_attempts += other.sync_attempts;
+  sync_failures += other.sync_failures;
+  verify_rejections += other.verify_rejections;
+  dropped += other.dropped;
+  aborted_local += other.aborted_local;
+  aborted_sequential += other.aborted_sequential;
+  aborted_time += other.aborted_time;
+}
+
 namespace {
 
 /// Twin good/faulty replay of the propagation frames with only the given
@@ -131,7 +149,7 @@ bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
                              const std::vector<sim::InputVec>& prop_frames,
                              const std::vector<std::size_t>& needed,
                              semilet::Budget& budget, TestSequence* out,
-                             StageStats* stages) {
+                             StageStats* stages) const {
   ++stages->sync_attempts;
   const std::vector<int> s0 = tdgen::required_initial_state(local);
   std::vector<std::pair<std::size_t, Lv>> requirements;
@@ -177,7 +195,7 @@ bool Fogbuster::try_finalize(const DelayFault& fault, const LocalTest& local,
 
 FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
                                           TestSequence* out,
-                                          StageStats* stages) {
+                                          StageStats* stages) const {
   const Stopwatch watch;
   const auto out_of_time = [&] {
     return options_.per_fault_seconds > 0.0 &&
@@ -372,65 +390,104 @@ tdsim::TdsimRequest make_tdsim_request(const net::Netlist& nl,
 
 FogbusterResult Fogbuster::run() { return run({}); }
 
-FogbusterResult Fogbuster::run(std::span<const std::size_t> target_order) {
-  const Stopwatch watch;
-  const net::Netlist& nl = ctx_->netlist();
+FogbusterResult Fogbuster::make_empty_result() const {
   FogbusterResult result;
   result.faults = ctx_->faults();
   result.status.assign(result.faults.size(), FaultStatus::Untested);
-  check(target_order.empty() || target_order.size() == result.faults.size(),
-        "Fogbuster::run: target order size does not match the fault list");
+  return result;
+}
 
+void Fogbuster::reset_run_state() {
   // Reentrancy: every run starts from the same X-fill stream, so repeated
   // runs on one instance are bit-identical.
   fill_rng_ = Rng(options_.fill_seed);
+}
 
+void Fogbuster::set_untestable_memo(
+    std::shared_ptr<const std::vector<bool>> memo) {
+  check(memo == nullptr || memo->size() == ctx_->faults().size(),
+        "Fogbuster: untestable memo size does not match the fault list");
+  memo_ = std::move(memo);
+}
+
+void Fogbuster::apply_test(const TestSequence& sequence,
+                           FogbusterResult* result) {
+  result->tests.push_back(sequence);
+  result->pattern_count += sequence.pattern_count();
+
+  if (!options_.fault_dropping) {
+    return;
+  }
+  // Fault simulation (paper §5): random X fill, good-machine pass,
+  // PPO observability over the propagation frames, then the fast-frame
+  // delay fault simulation by critical path tracing. Only the still
+  // untested faults are simulated — detected ones are already dropped.
+  const net::Netlist& nl = ctx_->netlist();
+  const std::vector<sim::InputVec> frames = sequence.all_frames();
+  const fausim::Fausim::GoodTrace trace =
+      fausim_.simulate_good(frames, fill_rng_);
+  const tdsim::TdsimRequest request = make_tdsim_request(
+      nl, fausim_, trace, sequence.fast_index(), sequence.needed_ppos);
+  std::vector<std::size_t> untested;
+  std::vector<tdgen::DelayFault> targets;
+  for (std::size_t j = 0; j < result->faults.size(); ++j) {
+    if (result->status[j] == FaultStatus::Untested) {
+      untested.push_back(j);
+      targets.push_back(result->faults[j]);
+    }
+  }
+  const std::vector<bool> detected =
+      options_.tdsim_engine == TdsimEngine::Exact
+          ? tdsim_.detect_exact(request, targets)
+          : tdsim_.detect_cpt(request, targets);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    if (detected[t]) {
+      result->status[untested[t]] = FaultStatus::Tested;
+      ++result->stages.dropped;
+    }
+  }
+}
+
+void Fogbuster::merge_targeted(std::size_t i, bool memoized,
+                               FaultStatus status,
+                               const TestSequence& sequence,
+                               const StageStats& stages,
+                               FogbusterResult* result) {
+  ++result->stages.targeted;
+  if (memoized) {
+    result->status[i] = FaultStatus::Untestable;
+    ++result->memo_hits;
+    return;
+  }
+  result->stages.add(stages);
+  result->status[i] = status;
+  if (status == FaultStatus::Tested) {
+    apply_test(sequence, result);
+  }
+}
+
+FogbusterResult Fogbuster::run(std::span<const std::size_t> target_order) {
+  const Stopwatch watch;
+  FogbusterResult result = make_empty_result();
+  check(target_order.empty() || target_order.size() == result.faults.size(),
+        "Fogbuster::run: target order size does not match the fault list");
+  reset_run_state();
+
+  // The degenerate (epoch size 1, inline generation) form of the epoch
+  // loop in run/shard: every step below it goes through merge_targeted.
   for (std::size_t pos = 0; pos < result.faults.size(); ++pos) {
     const std::size_t i = target_order.empty() ? pos : target_order[pos];
     if (result.status[i] != FaultStatus::Untested) {
       continue;
     }
-    ++result.stages.targeted;
+    const bool memoized = memo_ != nullptr && (*memo_)[i];
     TestSequence sequence;
-    const FaultStatus status =
-        generate_for_fault(result.faults[i], &sequence, &result.stages);
-    result.status[i] = status;
-    if (status != FaultStatus::Tested) {
-      continue;
+    StageStats stages;
+    FaultStatus status = FaultStatus::Untested;
+    if (!memoized) {
+      status = generate_for_fault(result.faults[i], &sequence, &stages);
     }
-    result.tests.push_back(sequence);
-    result.pattern_count += sequence.pattern_count();
-
-    if (!options_.fault_dropping) {
-      continue;
-    }
-    // Fault simulation (paper §5): random X fill, good-machine pass,
-    // PPO observability over the propagation frames, then the fast-frame
-    // delay fault simulation by critical path tracing. Only the still
-    // untested faults are simulated — detected ones are already dropped.
-    const std::vector<sim::InputVec> frames = sequence.all_frames();
-    const fausim::Fausim::GoodTrace trace =
-        fausim_.simulate_good(frames, fill_rng_);
-    const tdsim::TdsimRequest request = make_tdsim_request(
-        nl, fausim_, trace, sequence.fast_index(), sequence.needed_ppos);
-    std::vector<std::size_t> untested;
-    std::vector<tdgen::DelayFault> targets;
-    for (std::size_t j = 0; j < result.faults.size(); ++j) {
-      if (result.status[j] == FaultStatus::Untested) {
-        untested.push_back(j);
-        targets.push_back(result.faults[j]);
-      }
-    }
-    const std::vector<bool> detected =
-        options_.tdsim_engine == TdsimEngine::Exact
-            ? tdsim_.detect_exact(request, targets)
-            : tdsim_.detect_cpt(request, targets);
-    for (std::size_t t = 0; t < targets.size(); ++t) {
-      if (detected[t]) {
-        result.status[untested[t]] = FaultStatus::Tested;
-        ++result.stages.dropped;
-      }
-    }
+    merge_targeted(i, memoized, status, sequence, stages, &result);
   }
   result.seconds = watch.seconds();
   return result;

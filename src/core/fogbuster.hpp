@@ -59,6 +59,11 @@ struct StageStats {
   long aborted_local = 0;      ///< gave up in the local (TDgen) search
   long aborted_sequential = 0; ///< gave up in propagation/justification/sync
   long aborted_time = 0;       ///< per-fault wall-clock cap hit
+
+  /// Accumulates another run's (or fault's) counters into this one.
+  /// Addition is commutative, so merging per-fault slices in any order
+  /// gives the totals of a sequential pass.
+  void add(const StageStats& other);
 };
 
 struct FogbusterResult {
@@ -68,6 +73,9 @@ struct FogbusterResult {
   std::size_t pattern_count = 0;     ///< paper's #pat column
   double seconds = 0.0;              ///< paper's time column
   StageStats stages;
+  /// Faults classified straight from a shared untestability memo instead
+  /// of a fresh TDgen search (see set_untestable_memo).
+  long memo_hits = 0;
 
   int count(FaultStatus s) const;
   int tested() const { return count(FaultStatus::Tested); }
@@ -118,10 +126,48 @@ class Fogbuster {
   /// the dropping pattern and the test count.
   FogbusterResult run(std::span<const std::size_t> target_order);
 
-  /// Single-fault generation (no dropping); exposed for tests and for the
-  /// flow-stage bench.
+  /// Single-fault generation (no dropping); exposed for tests, the
+  /// flow-stage bench, and the epoch sharding engine (run/shard). The call
+  /// reads only the immutable context and the options — any number of
+  /// threads may generate different faults on one instance concurrently.
   FaultStatus generate_for_fault(const tdgen::DelayFault& fault,
-                                 TestSequence* out, StageStats* stages);
+                                 TestSequence* out,
+                                 StageStats* stages) const;
+
+  // --- Sharded-run building blocks (used by run/shard's epoch engine;
+  // --- run() is exactly the sequential composition of these) -----------
+
+  /// A result skeleton: the canonical fault list, every status Untested.
+  FogbusterResult make_empty_result() const;
+
+  /// Resets the per-run mutable state (the X-fill RNG) — the start-of-run
+  /// step that makes repeated runs bit-identical.
+  void reset_run_state();
+
+  /// Accepts one verified test: appends it to `result`, adds its pattern
+  /// count and, when fault dropping is enabled, fault-simulates it against
+  /// the still-untested faults and drops every detected one. Consumes the
+  /// X-fill RNG stream — calls must happen in targeting order, one thread
+  /// at a time (the epoch merge serializes here).
+  void apply_test(const TestSequence& sequence, FogbusterResult* result);
+
+  /// The order-sensitive half of one targeting step, shared verbatim by
+  /// run() and the epoch merge (run/shard) so the two can never drift:
+  /// counts the target, classifies via the memo (`memoized` mirrors
+  /// untestable_memo() for fault `i`) or adopts the generated verdict
+  /// plus its stage counters, and on success appends the test and runs
+  /// the dropping pass. `i` must still be Untested in `result`.
+  void merge_targeted(std::size_t i, bool memoized, FaultStatus status,
+                      const TestSequence& sequence, const StageStats& stages,
+                      FogbusterResult* result);
+
+  /// Shares a set of faults (by canonical index) already proven robustly
+  /// untestable for this context + generation configuration. Targeting
+  /// such a fault classifies it Untestable without a search; the verdict
+  /// is what the search would have produced, so results are unchanged —
+  /// only faster. Pass nullptr to clear.
+  void set_untestable_memo(std::shared_ptr<const std::vector<bool>> memo);
+  const std::vector<bool>* untestable_memo() const { return memo_.get(); }
 
  private:
   bool try_finalize(const tdgen::DelayFault& fault,
@@ -129,7 +175,7 @@ class Fogbuster {
                     const std::vector<sim::InputVec>& prop_frames,
                     const std::vector<std::size_t>& needed,
                     semilet::Budget& budget, TestSequence* out,
-                    StageStats* stages);
+                    StageStats* stages) const;
 
   /// Immutable shared structure (netlist, model, flat form, fault list).
   std::shared_ptr<const CircuitContext> ctx_;
@@ -141,6 +187,8 @@ class Fogbuster {
   Rng fill_rng_;
   fausim::Fausim fausim_;
   tdsim::Tdsim tdsim_;
+  /// Optional shared untestability verdicts (see set_untestable_memo).
+  std::shared_ptr<const std::vector<bool>> memo_;
 };
 
 }  // namespace gdf::core

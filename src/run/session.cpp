@@ -24,4 +24,24 @@ core::FogbusterResult AtpgSession::run() {
   return flow_.run(target_order_);
 }
 
+core::FogbusterResult AtpgSession::run(ThreadPool& pool,
+                                       const ShardConfig& shard) {
+  if (!order_ready_) {
+    target_order_ = make_fault_order(*ctx_, order_, options_);
+    order_ready_ = true;
+  }
+  const unsigned workers = shard_workers(
+      shard, pool, ctx_->faults().size(), options_.per_fault_seconds);
+  if (workers <= 1) {
+    return flow_.run(target_order_);
+  }
+  return run_sharded(flow_, target_order_, pool,
+                     shard_epoch_size(shard, workers));
+}
+
+void AtpgSession::set_untestable_memo(
+    std::shared_ptr<const std::vector<bool>> memo) {
+  flow_.set_untestable_memo(std::move(memo));
+}
+
 }  // namespace gdf::run

@@ -18,6 +18,7 @@
 #include "core/fogbuster.hpp"
 #include "core/options.hpp"
 #include "run/fault_order.hpp"
+#include "run/shard.hpp"
 
 namespace gdf::run {
 
@@ -40,6 +41,17 @@ class AtpgSession {
 
   /// One complete ATPG run. Reentrant and deterministic.
   core::FogbusterResult run();
+
+  /// Like run(), but when `shard` applies (policy, circuit size, pool
+  /// width — see shard_workers), generation is epoch-sharded across
+  /// `pool`. Byte-identical to run() in every case; the calling thread
+  /// helps with its own epochs, so this is safe from inside pool tasks.
+  core::FogbusterResult run(ThreadPool& pool, const ShardConfig& shard);
+
+  /// Shares untestability verdicts proven by an earlier run over the same
+  /// context + generation configuration (see Fogbuster::
+  /// set_untestable_memo; run/sweep publishes these per cell group).
+  void set_untestable_memo(std::shared_ptr<const std::vector<bool>> memo);
 
  private:
   std::shared_ptr<const core::CircuitContext> ctx_;

@@ -1,0 +1,168 @@
+#include "run/shard.hpp"
+
+#include <charconv>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/timer.hpp"
+
+namespace gdf::run {
+
+ShardConfig parse_shard_faults(std::string_view text) {
+  ShardConfig config;
+  if (text == "off") {
+    config.policy = ShardConfig::Policy::Off;
+    return config;
+  }
+  if (text == "auto") {
+    config.policy = ShardConfig::Policy::Auto;
+    return config;
+  }
+  unsigned workers = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, workers);
+  check(ec == std::errc() && ptr == last && workers > 0,
+        "--shard-faults expects 'auto', 'off', or a positive worker "
+        "count, got '" + std::string(text) + "'");
+  config.policy = ShardConfig::Policy::Forced;
+  config.workers = workers;
+  return config;
+}
+
+std::string shard_faults_name(const ShardConfig& config) {
+  switch (config.policy) {
+    case ShardConfig::Policy::Off:
+      return "off";
+    case ShardConfig::Policy::Auto:
+      return "auto";
+    case ShardConfig::Policy::Forced:
+      return std::to_string(config.workers);
+  }
+  return "off";
+}
+
+unsigned shard_workers(const ShardConfig& config, const ThreadPool& pool,
+                       std::size_t fault_count, double per_fault_seconds) {
+  switch (config.policy) {
+    case ShardConfig::Policy::Off:
+      return 0;
+    case ShardConfig::Policy::Forced:
+      return config.workers;
+    case ShardConfig::Policy::Auto:
+      // Sharding never changes the bytes, but with a per-fault wall-clock
+      // cap the verdicts are timing-dependent either way — don't let the
+      // default policy add scheduling noise to such runs. Small circuits
+      // pay more in barriers than they gain; a one-thread pool gains
+      // nothing at all.
+      if (per_fault_seconds > 0.0 || fault_count < config.min_faults ||
+          pool.thread_count() <= 1) {
+        return 0;
+      }
+      return pool.thread_count();
+  }
+  return 0;
+}
+
+std::size_t shard_epoch_size(const ShardConfig& config, unsigned workers) {
+  if (config.epoch_size > 0) {
+    return config.epoch_size;
+  }
+  // A few generation slices per worker amortize the barrier without
+  // over-speculating past the next dropping passes.
+  return std::max<std::size_t>(std::size_t{4} * workers, 16);
+}
+
+core::FogbusterResult run_sharded(core::Fogbuster& flow,
+                                  std::span<const std::size_t> target_order,
+                                  ThreadPool& pool, std::size_t epoch_size) {
+  using core::FaultStatus;
+  check(epoch_size > 0, "run_sharded: epoch size must be at least 1");
+
+  const Stopwatch watch;
+  core::FogbusterResult result = flow.make_empty_result();
+  const std::size_t n = result.faults.size();
+  check(target_order.empty() || target_order.size() == n,
+        "run_sharded: target order size does not match the fault list");
+  flow.reset_run_state();
+  const std::vector<bool>* memo = flow.untestable_memo();
+
+  /// One epoch entry: a speculatively generated verdict for fault
+  /// `index`, merged (or discarded, when an epoch-mate's test dropped the
+  /// fault first) at the barrier.
+  struct Slice {
+    std::size_t index = 0;
+    bool memoized = false;
+    FaultStatus status = FaultStatus::Untested;
+    core::TestSequence sequence;
+    core::StageStats stages;
+    std::exception_ptr error;
+  };
+
+  std::vector<Slice> epoch;
+  epoch.reserve(epoch_size);
+  std::size_t pos = 0;  // targeting positions < pos are fully classified
+  while (pos < n) {
+    // Select the next still-untested faults in targeting order. Memoized
+    // faults join the epoch (their classification must happen in order at
+    // the merge) but skip speculative generation.
+    epoch.clear();
+    while (pos < n && epoch.size() < epoch_size) {
+      const std::size_t i = target_order.empty() ? pos : target_order[pos];
+      ++pos;
+      if (result.status[i] != FaultStatus::Untested) {
+        continue;
+      }
+      Slice slice;
+      slice.index = i;
+      slice.memoized = memo != nullptr && (*memo)[i];
+      epoch.push_back(std::move(slice));
+    }
+    if (epoch.empty()) {
+      break;
+    }
+
+    // Fan the epoch's generations out; the pool's workers and this thread
+    // (helping inside wait) each run slices against the shared immutable
+    // context. Exceptions are parked per slice — a throwing task would
+    // wedge the group accounting.
+    ThreadPool::Group group;
+    for (Slice& slice : epoch) {
+      if (slice.memoized) {
+        continue;
+      }
+      pool.submit(group, [&flow, &slice] {
+        try {
+          slice.status = flow.generate_for_fault(
+              flow.context()->faults()[slice.index], &slice.sequence,
+              &slice.stages);
+        } catch (...) {
+          slice.error = std::current_exception();
+        }
+      });
+    }
+    pool.wait(group);
+
+    // Barrier merge, in targeting order: exactly the sequential loop,
+    // with the generation verdicts precomputed (merge_targeted is the
+    // code path Fogbuster::run itself steps through). Faults dropped by
+    // an earlier epoch-mate's test are skipped — their speculative work
+    // is the sharding's only waste.
+    for (Slice& slice : epoch) {
+      if (result.status[slice.index] != FaultStatus::Untested) {
+        continue;
+      }
+      if (slice.error) {
+        std::rethrow_exception(slice.error);
+      }
+      flow.merge_targeted(slice.index, slice.memoized, slice.status,
+                          slice.sequence, slice.stages, &result);
+    }
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace gdf::run

@@ -65,6 +65,47 @@ const char* mode_name(alg::Mode mode) {
   return mode == alg::Mode::Robust ? "robust" : "nonrobust";
 }
 
+/// The slice of AtpgOptions the per-fault generation verdicts depend on.
+/// Cells of one circuit sharing this key classify every fault
+/// identically whatever their seed, targeting order, or dropping setting
+/// — an untestability verdict proven by one is ground truth for all.
+struct GenerationKey {
+  StructuralKey structure;
+  alg::Mode mode;
+  int local_backtracks;
+  long local_decisions;
+  int seq_backtracks;
+  int seq_prop_frames;
+  int seq_sync_frames;
+  long seq_decisions;
+  double per_fault_seconds;
+
+  explicit GenerationKey(const core::AtpgOptions& o)
+      : structure(o),
+        mode(o.mode),
+        local_backtracks(o.local.backtrack_limit),
+        local_decisions(o.local.decision_limit),
+        seq_backtracks(o.sequential.backtrack_limit),
+        seq_prop_frames(o.sequential.max_propagation_frames),
+        seq_sync_frames(o.sequential.max_sync_frames),
+        seq_decisions(o.sequential.decision_limit),
+        per_fault_seconds(o.per_fault_seconds) {}
+
+  bool operator==(const GenerationKey&) const = default;
+};
+
+/// Cells of one circuit sharing a GenerationKey. The canonically first
+/// cell (the producer) runs without a memo and publishes its untestable
+/// set at completion; the consumers are only submitted after that, so
+/// their memo view — and with it every byte they emit — is independent
+/// of worker timing.
+struct MemoGroup {
+  std::vector<std::size_t> members;  ///< canonical job indices, ascending
+  std::shared_ptr<const std::vector<bool>> verdicts;  ///< set by producer
+
+  std::size_t producer() const { return members.front(); }
+};
+
 }  // namespace
 
 CircuitSource CircuitSource::catalog(std::string catalog_name) {
@@ -190,9 +231,9 @@ std::string format_sweep_csv_row(const SweepSpec& spec,
   return os.str();
 }
 
-void run_sweep(const SweepSpec& spec,
-               const std::function<void(const SweepRow&)>& emit,
-               const std::function<void()>& on_ready) {
+SweepStats run_sweep(const SweepSpec& spec,
+                     const std::function<void(const SweepRow&)>& emit,
+                     const std::function<void()>& on_ready) {
   // Load and validate every circuit up front, serially: a typo or a
   // malformed .bench file fails before any ATPG time is spent, and the
   // workers then only ever read the slots.
@@ -217,6 +258,46 @@ void run_sweep(const SweepSpec& spec,
   const std::vector<SweepJob> jobs = expand(spec);
   const std::size_t cells = spec.cells_per_circuit();
 
+  // Untestable-memo groups: per circuit, cells sharing a GenerationKey
+  // classify every fault identically, so all but the first redo pure
+  // re-derivation. Group them; the producer (canonically first member)
+  // publishes its untestable set after its cell completes, the consumers
+  // start only then. A per-fault wall-clock cap makes verdicts
+  // timing-dependent — no groups form for such specs.
+  std::vector<std::unique_ptr<MemoGroup>> groups;
+  std::vector<MemoGroup*> group_of(jobs.size(), nullptr);
+  if (spec.base.per_fault_seconds <= 0.0) {
+    std::vector<std::pair<GenerationKey, MemoGroup*>> keyed;
+    for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+      keyed.clear();
+      for (std::size_t c = 0; c < cells; ++c) {
+        const std::size_t ji = slot * cells + c;
+        const GenerationKey key(jobs[ji].options);
+        MemoGroup* group = nullptr;
+        for (auto& [k, g] : keyed) {
+          if (k == key) {
+            group = g;
+            break;
+          }
+        }
+        if (group == nullptr) {
+          groups.push_back(std::make_unique<MemoGroup>());
+          group = groups.back().get();
+          keyed.emplace_back(key, group);
+        }
+        group->members.push_back(ji);
+        group_of[ji] = group;
+      }
+    }
+    // Singleton groups have nobody to share with — drop them so plain
+    // (non-matrix) sweeps never touch the memo machinery.
+    for (MemoGroup*& group : group_of) {
+      if (group != nullptr && group->members.size() < 2) {
+        group = nullptr;
+      }
+    }
+  }
+
   // Indexed result channel: workers publish at their canonical position,
   // the caller drains in order. A slot is either a row or an exception.
   struct Cell {
@@ -229,16 +310,60 @@ void run_sweep(const SweepSpec& spec,
   std::condition_variable published;
   bool cancelled = false;
 
+  // Longest-job-first submission: descending size-based cost estimate,
+  // canonical index as the deterministic tie-break. Without it the
+  // biggest circuits land on workers last and their runtime caps the
+  // sweep; the canonical emission channel makes the reordering invisible.
+  std::vector<std::size_t> submission(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    submission[i] = i;
+  }
+  std::stable_sort(submission.begin(), submission.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return slots[a / cells]->nl.size() >
+                            slots[b / cells]->nl.size();
+                   });
+
+  SweepStats stats;
   {
     // No point spawning more workers than there are jobs (a default
     // --jobs 0 single-circuit run on a many-core host would otherwise
-    // create a pile of threads that never pop a task).
-    ThreadPool pool(std::min<unsigned>(
-        ThreadPool::resolve_jobs(spec.jobs),
-        static_cast<unsigned>(std::max<std::size_t>(1, jobs.size()))));
-    for (const SweepJob& job : jobs) {
-      CircuitSlot* slot = slots[job.index / cells].get();
-      pool.submit([&, slot, &job = jobs[job.index]] {
+    // create a pile of threads that never pop a task) — unless some cell
+    // can fan its faults out, in which case the spare workers pick up
+    // generation epochs and the full width stays. "Can shard" is judged
+    // from the unexpanded netlist size with a generous fault-count proxy
+    // (8x covers branch expansion): over-admitting parks a few idle
+    // threads, under-admitting would forfeit the sharding speedup.
+    bool shardable = false;
+    if (spec.shard.policy == ShardConfig::Policy::Forced) {
+      shardable = spec.shard.workers > 1;
+    } else if (spec.shard.policy == ShardConfig::Policy::Auto &&
+               spec.base.per_fault_seconds <= 0.0) {
+      for (const auto& slot : slots) {
+        if (8 * slot->nl.size() >= spec.shard.min_faults) {
+          shardable = true;
+          break;
+        }
+      }
+    }
+    unsigned width = ThreadPool::resolve_jobs(spec.jobs);
+    if (!shardable) {
+      width = std::min<unsigned>(
+          width,
+          static_cast<unsigned>(std::max<std::size_t>(1, jobs.size())));
+    }
+    // One cell of work. Defined recursively via std::function because a
+    // producer submits its consumers from inside its own task. Declared
+    // before the pool so it is still alive while the pool's destructor
+    // joins workers whose producer tails call it.
+    std::function<void(std::size_t)> submit_job;
+    ThreadPool pool(width);
+
+    submit_job = [&](std::size_t ji) {
+      pool.submit([&, ji] {
+        const SweepJob& job = jobs[ji];
+        CircuitSlot* slot = slots[ji / cells].get();
+        MemoGroup* group = group_of[ji];
         Cell cell;
         {
           const std::lock_guard<std::mutex> lock(mutex);
@@ -250,12 +375,29 @@ void run_sweep(const SweepSpec& spec,
           try {
             AtpgSession session(slot->context_for(job.options), job.options,
                                 job.order);
-            const core::FogbusterResult result = session.run();
+            if (group != nullptr && ji != group->producer()) {
+              session.set_untestable_memo(group->verdicts);
+            }
+            const core::FogbusterResult result = session.run(pool,
+                                                             spec.shard);
             cell.row = std::make_unique<SweepRow>();
             cell.row->job = job;
             cell.row->table =
                 core::make_table3_row(job.circuit.label, result);
             cell.row->stages = result.stages;
+            cell.row->memo_hits = result.memo_hits;
+            if (group != nullptr && ji == group->producer()) {
+              // Publish-after-cell: the verdict set becomes visible only
+              // as a completed whole, and only then do the consumers
+              // enter the pool (the submission lock orders the write).
+              auto verdicts = std::make_shared<std::vector<bool>>(
+                  result.status.size(), false);
+              for (std::size_t f = 0; f < result.status.size(); ++f) {
+                (*verdicts)[f] =
+                    result.status[f] == core::FaultStatus::Untestable;
+              }
+              group->verdicts = std::move(verdicts);
+            }
           } catch (...) {
             cell.error = std::current_exception();
           }
@@ -263,10 +405,29 @@ void run_sweep(const SweepSpec& spec,
         }
         {
           const std::lock_guard<std::mutex> lock(mutex);
-          channel[job.index] = std::move(cell);
+          channel[ji] = std::move(cell);
         }
         published.notify_all();
+        if (group != nullptr && ji == group->producer() &&
+            group->verdicts != nullptr) {
+          for (const std::size_t consumer : group->members) {
+            if (consumer != ji) {
+              submit_job(consumer);
+            }
+          }
+        }
       });
+    };
+
+    for (const std::size_t ji : submission) {
+      // Consumers wait for their producer's published memo; everyone
+      // else starts now. A producer that fails never submits its
+      // consumers — its error surfaces at an earlier canonical index, so
+      // the emission loop below never reaches (or waits on) them.
+      const MemoGroup* group = group_of[ji];
+      if (group == nullptr || ji == group->producer()) {
+        submit_job(ji);
+      }
     }
 
     // Deterministic emission: row i is handed out only after rows 0..i-1,
@@ -283,8 +444,13 @@ void run_sweep(const SweepSpec& spec,
       const std::unique_ptr<SweepRow> row = std::move(channel[i].row);
       lock.unlock();
       emit(*row);
+      if (row->memo_hits > 0) {
+        stats.memo_hits += row->memo_hits;
+        ++stats.memo_reused_cells;
+      }
     }
   }  // joins the pool before the channel goes out of scope
+  return stats;
 }
 
 }  // namespace gdf::run

@@ -15,6 +15,22 @@
 // engines; contexts are shared read-only), so the emitted bytes are
 // identical for any worker count — the determinism ctest asserts jobs=1
 // versus jobs=4.
+//
+// Three scheduling layers keep the wall time down without touching the
+// bytes:
+//  * Longest-job-first submission: cells run in descending size-based
+//    cost order (the canonical emission channel hides the reordering), so
+//    the s1196/s1238-class tails start first instead of capping the sweep.
+//  * Intra-circuit fault sharding (spec.shard): a cell whose circuit
+//    qualifies fans its fault list into generation epochs on the same
+//    pool instead of occupying one worker (see run/shard.hpp).
+//  * The untestable-fault memo: cells differing only in seed, targeting
+//    order, or dropping re-derive identical untestability verdicts; the
+//    first such cell (in canonical order) runs alone and publishes its
+//    verdict set at cell completion, and only then are its sibling cells
+//    submitted, each reusing the memo. Publish-after-cell plus
+//    producer-before-consumer scheduling keeps hit counts and bytes
+//    deterministic under any worker count.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +41,7 @@
 #include "core/options.hpp"
 #include "core/report.hpp"
 #include "run/fault_order.hpp"
+#include "run/shard.hpp"
 
 namespace gdf::run {
 
@@ -69,6 +86,9 @@ struct SweepSpec {
 
   unsigned jobs = 0;            ///< worker threads; 0 = hardware concurrency
   bool include_seconds = true;  ///< emit the wall-time column
+  /// Intra-circuit fault sharding policy (--shard-faults); Off reproduces
+  /// the cell-granular behavior. Never changes the emitted bytes.
+  ShardConfig shard;
 
   /// Cells per circuit (product of the axis sizes).
   std::size_t cells_per_circuit() const;
@@ -91,6 +111,14 @@ struct SweepRow {
   SweepJob job;
   core::Table3Row table;
   core::StageStats stages;
+  /// Faults this cell classified via the shared untestable memo.
+  long memo_hits = 0;
+};
+
+/// Whole-sweep outcome counters (deterministic for a given spec).
+struct SweepStats {
+  long memo_hits = 0;          ///< untestable verdicts reused, summed
+  long memo_reused_cells = 0;  ///< cells with at least one memo hit
 };
 
 /// CSV rendering. Without a matrix this is exactly the legacy layout
@@ -108,9 +136,9 @@ std::string format_sweep_csv_row(const SweepSpec& spec, const SweepRow& row);
 /// canonical position (later jobs are abandoned). `on_ready`, if given,
 /// runs after every circuit has loaded and validated but before any job —
 /// the place to print a header, so a bad circuit name aborts cleanly
-/// without partial output.
-void run_sweep(const SweepSpec& spec,
-               const std::function<void(const SweepRow&)>& emit,
-               const std::function<void()>& on_ready = {});
+/// without partial output. The returned stats summarize memo reuse.
+SweepStats run_sweep(const SweepSpec& spec,
+                     const std::function<void(const SweepRow&)>& emit,
+                     const std::function<void()>& on_ready = {});
 
 }  // namespace gdf::run

@@ -48,6 +48,32 @@ TEST(ArgsTest, UsageMentionsNewFlags) {
   EXPECT_NE(text.find("--jobs"), std::string::npos);
   EXPECT_NE(text.find("--fault-order"), std::string::npos);
   EXPECT_NE(text.find("--bench-dir"), std::string::npos);
+  EXPECT_NE(text.find("--shard-faults"), std::string::npos);
+  EXPECT_NE(text.find("--shard-epoch"), std::string::npos);
+}
+
+TEST(ArgsTest, ShardFlags) {
+  // Default: auto policy, epoch derived from the worker count.
+  const DriverConfig defaults = parse({"--all"});
+  EXPECT_EQ(defaults.shard.policy, run::ShardConfig::Policy::Auto);
+  EXPECT_EQ(defaults.shard.epoch_size, 0u);
+
+  const DriverConfig forced =
+      parse({"--all", "--shard-faults", "8", "--shard-epoch", "32"});
+  EXPECT_EQ(forced.shard.policy, run::ShardConfig::Policy::Forced);
+  EXPECT_EQ(forced.shard.workers, 8u);
+  EXPECT_EQ(forced.shard.epoch_size, 32u);
+  EXPECT_EQ(sweep_spec(forced).shard, forced.shard);
+
+  // Flag order must not matter: --shard-epoch before --shard-faults.
+  const DriverConfig swapped =
+      parse({"--all", "--shard-epoch", "32", "--shard-faults", "off"});
+  EXPECT_EQ(swapped.shard.policy, run::ShardConfig::Policy::Off);
+  EXPECT_EQ(swapped.shard.epoch_size, 32u);
+
+  EXPECT_THROW(parse({"--all", "--shard-faults", "sideways"}), Error);
+  EXPECT_THROW(parse({"--all", "--shard-faults", "0"}), Error);
+  EXPECT_THROW(parse({"--all", "--shard-epoch", "0"}), Error);
 }
 
 TEST(ArgsTest, JobsAndBenchDir) {
