@@ -59,11 +59,20 @@ fi
 BIG="--circuit s1196 --circuit s1238"
 echo "run_benchmarks: s1196+s1238 with --shard-faults off ..." >&2
 T3=$(date +%s.%N)
-CSV_BIG_OFF=$("$GDF_ATPG" $BIG --csv --jobs "$JOBS" --shard-faults off)
+# --stages rides along so the search-core counters (ISSUE 5) land in the
+# JSON; stage lines are indented and filtered back out of the CSV stream.
+CSV_BIG_OFF_RAW=$("$GDF_ATPG" $BIG --csv --jobs "$JOBS" --shard-faults off \
+  --stages)
 T4=$(date +%s.%N)
+CSV_BIG_OFF=$(echo "$CSV_BIG_OFF_RAW" | grep -v '^ ')
+STAGES_BIG=$(echo "$CSV_BIG_OFF_RAW" | grep '^ ' || true)
 echo "run_benchmarks: s1196+s1238 with --shard-faults $JOBS ..." >&2
-CSV_BIG_SHARD=$("$GDF_ATPG" $BIG --csv --jobs "$JOBS" --shard-faults "$JOBS")
+# --stages on this leg too, so both sides of the shard-speedup ratio run
+# under identical flags.
+CSV_BIG_SHARD_RAW=$("$GDF_ATPG" $BIG --csv --jobs "$JOBS" \
+  --shard-faults "$JOBS" --stages)
 T5=$(date +%s.%N)
+CSV_BIG_SHARD=$(echo "$CSV_BIG_SHARD_RAW" | grep -v '^ ')
 WALL_BIG_OFF=$(echo "$T4 $T3" | awk '{printf "%.3f", $1 - $2}')
 WALL_BIG_SHARD=$(echo "$T5 $T4" | awk '{printf "%.3f", $1 - $2}')
 
@@ -86,6 +95,7 @@ fi
 CSV_J1="$CSV_J1" CSV_JN="$CSV_JN" JOBS="$JOBS" HW="$HW" \
   WALL_J1="$WALL_J1" WALL_JN="$WALL_JN" \
   WALL_BIG_OFF="$WALL_BIG_OFF" WALL_BIG_SHARD="$WALL_BIG_SHARD" \
+  STAGES_BIG="$STAGES_BIG" \
   python3 - "$OUTPUT" "$MICRO_JSON" <<'EOF'
 import json
 import os
@@ -130,6 +140,32 @@ wall_jn = float(os.environ["WALL_JN"])
 big_off = float(os.environ["WALL_BIG_OFF"])
 big_shard = float(os.environ["WALL_BIG_SHARD"])
 
+# Search-core counters (ISSUE 5), summed over the s1196+s1238 --stages
+# blocks, so the hot-path speedup stays attributable across PRs.
+import re
+
+stages_text = os.environ.get("STAGES_BIG", "")
+search_core = {
+    "implications": 0,
+    "trail_pushes": 0,
+    "trail_pops": 0,
+    "probe_runs": 0,
+    "probe_cone": 0,
+    "probe_full": 0,
+}
+for m in re.finditer(
+        r"search core\s+implications (\d+), trail pushes (\d+), pops (\d+)",
+        stages_text):
+    search_core["implications"] += int(m.group(1))
+    search_core["trail_pushes"] += int(m.group(2))
+    search_core["trail_pops"] += int(m.group(3))
+for m in re.finditer(
+        r"verification probes\s+(\d+) \(cone-scoped (\d+), full (\d+)\)",
+        stages_text):
+    search_core["probe_runs"] += int(m.group(1))
+    search_core["probe_cone"] += int(m.group(2))
+    search_core["probe_full"] += int(m.group(3))
+
 report = {
     "benchmark": "gdf_atpg --all --csv",
     "jobs": jobs,
@@ -146,6 +182,8 @@ report = {
     "shard_seconds_s1196_s1238_sharded": round(big_shard, 3),
     "shard_speedup_s1196_s1238":
         round(big_off / big_shard, 2) if big_shard > 0 else None,
+    # ISSUE-5 search-core counters over the s1196+s1238 sequential run.
+    "search_core_s1196_s1238": search_core,
     # Sum of per-circuit times at --jobs 1: the work metric comparable
     # with pre-parallelism PRs (their total_seconds).
     "total_seconds": round(serial_total, 3),

@@ -47,29 +47,30 @@ inline VSet eval_node(const DelayAlgebra& algebra, NodeKind kind, VSet a,
 void TwoFrameSim::replay_cone(NodeId from,
                               std::vector<VSet>& node_sets) const {
   const AtpgModel& m = *model_;
-  const std::size_t n_nodes = m.node_count();
   const NodeKind* kinds = m.kinds().data();
   const NodeId* in0s = m.in0s().data();
   const NodeId* in1s = m.in1s().data();
   VSet* sets = node_sets.data();
-  dirty_scratch_.assign(n_nodes, 0);
-  std::uint8_t* dirty = dirty_scratch_.data();
-  dirty[from] = 1;
-  for (NodeId id = from + 1; id < n_nodes; ++id) {
-    const NodeKind kind = kinds[id];
-    if (kind == NodeKind::Pi || kind == NodeKind::Ppi) {
-      continue;
-    }
+  work_.begin(m.node_count());
+  for (const NodeId reader : m.fanout(from)) {
+    work_.push(reader);
+  }
+  // Scheduled ids are always readers of changed nodes — never sources —
+  // and pop ascending, so every input is final when its consumer
+  // evaluates. The wave dies wherever a value is unchanged.
+  NodeId id;
+  while (work_.pop(&id)) {
     const NodeId in0 = in0s[id];
     const NodeId in1 = in1s[id];
-    const bool affected =
-        dirty[in0] != 0 || (in1 != kNoNode && dirty[in1] != 0);
-    if (!affected) {
+    const VSet out = eval_node(*algebra_, kinds[id], sets[in0],
+                               in1 != kNoNode ? sets[in1] : kEmptySet);
+    if (out == sets[id]) {
       continue;
     }
-    dirty[id] = 1;
-    sets[id] = eval_node(*algebra_, kind, sets[in0],
-                         in1 != kNoNode ? sets[in1] : kEmptySet);
+    sets[id] = out;
+    for (const NodeId reader : m.fanout(id)) {
+      work_.push(reader);
+    }
   }
 }
 
@@ -102,16 +103,14 @@ void TwoFrameSim::rerun_sources(
     std::span<const std::pair<NodeId, VSet>> changed, const FaultSpec* fault,
     std::vector<VSet>& node_sets) const {
   const AtpgModel& m = *model_;
-  const std::size_t n_nodes = m.node_count();
-  GDF_ASSERT(node_sets.size() == n_nodes, "node set size mismatch");
+  GDF_ASSERT(node_sets.size() == m.node_count(), "node set size mismatch");
   const NodeKind* kinds = m.kinds().data();
   const NodeId* in0s = m.in0s().data();
   const NodeId* in1s = m.in1s().data();
   VSet* sets = node_sets.data();
   const NodeId site = fault != nullptr ? fault->site : kNoNode;
-  dirty_scratch_.assign(n_nodes, 0);
-  std::uint8_t* dirty = dirty_scratch_.data();
-  NodeId first = static_cast<NodeId>(n_nodes);
+  work_.begin(m.node_count());
+  bool any = false;
   for (const auto& [src, raw] : changed) {
     VSet v = static_cast<VSet>(raw & kPrimaryDomain);
     if (src == site) {
@@ -119,77 +118,102 @@ void TwoFrameSim::rerun_sources(
     }
     if (v != sets[src]) {
       sets[src] = v;
-      dirty[src] = 1;
-      first = std::min(first, src);
+      for (const NodeId reader : m.fanout(src)) {
+        work_.push(reader);
+      }
+      any = true;
     }
   }
-  if (first == n_nodes) {
+  if (!any) {
     return;
   }
-  for (NodeId id = first + 1; id < n_nodes; ++id) {
-    const NodeKind kind = kinds[id];
-    if (kind == NodeKind::Pi || kind == NodeKind::Ppi) {
-      continue;
-    }
+  NodeId id;
+  while (work_.pop(&id)) {
     const NodeId in0 = in0s[id];
     const NodeId in1 = in1s[id];
-    if (!dirty[in0] && (in1 == kNoNode || !dirty[in1])) {
-      continue;
-    }
-    VSet out = eval_node(*algebra_, kind, sets[in0],
+    VSet out = eval_node(*algebra_, kinds[id], sets[in0],
                          in1 != kNoNode ? sets[in1] : kEmptySet);
     if (id == site) {
       out = DelayAlgebra::site_transform(out, fault->slow_to_rise);
     }
-    if (out != sets[id]) {
-      sets[id] = out;
-      dirty[id] = 1;
+    if (out == sets[id]) {
+      continue;
+    }
+    sets[id] = out;
+    for (const NodeId reader : m.fanout(id)) {
+      work_.push(reader);
     }
   }
 }
 
-unsigned TwoFrameSim::forced_po_carrier_mask(
-    std::span<const VSet> baseline,
-    std::span<const ForcedLane> lanes) const {
+unsigned TwoFrameSim::forced_sweep(std::span<const VSet> baseline,
+                                   std::span<const ForcedLane> lanes,
+                                   std::span<VSet> stop_values) const {
   const std::size_t n_nodes = model_->node_count();
   GDF_ASSERT(lanes.size() <= 8, "at most 8 scenarios per packed sweep");
   GDF_ASSERT(baseline.size() == n_nodes, "baseline size mismatch");
 
-  // One byte lane per scenario; dirty[id] is the lane bitmask of scenarios
-  // whose value at `id` differs from the shared baseline. Clean lanes read
-  // the baseline, so the sweep touches only the union of the cones. The
-  // buffers persist across calls (one sweep per stem group).
-  packed_scratch_.assign(n_nodes, 0);
-  dirty_scratch_.assign(n_nodes, 0);
-  forced_scratch_.assign(n_nodes, 0);
-  std::uint64_t* packed = packed_scratch_.data();
-  std::uint8_t* dirty = dirty_scratch_.data();
-  std::uint8_t* forced = forced_scratch_.data();
-  NodeId first = static_cast<NodeId>(n_nodes);
+  // One byte lane per scenario; lane_dirty_[id] is the lane bitmask of
+  // scenarios whose value at `id` differs from the shared baseline. Clean
+  // lanes read the baseline and all per-node lane state is epoch-stamped,
+  // so a sweep touches only the union of the (possibly truncated) cones.
+  if (packed_.size() < n_nodes) {
+    packed_.resize(n_nodes, 0);
+    lane_dirty_.resize(n_nodes, 0);
+    lane_forced_.resize(n_nodes, 0);
+    lane_stamp_.resize(n_nodes, 0);
+  }
+  ++lane_epoch_;
+  const auto touch = [&](NodeId id) {
+    if (lane_stamp_[id] != lane_epoch_) {
+      lane_stamp_[id] = lane_epoch_;
+      packed_[id] = 0;
+      lane_dirty_[id] = 0;
+      lane_forced_[id] = 0;
+    }
+  };
+  const auto dirty_of = [&](NodeId id) -> std::uint8_t {
+    return lane_stamp_[id] == lane_epoch_ ? lane_dirty_[id] : 0;
+  };
+  work_.begin(n_nodes);
+  bool any_stop = false;
+  unsigned stop_lanes = 0;
   for (std::size_t i = 0; i < lanes.size(); ++i) {
     const ForcedLane& lane = lanes[i];
     GDF_ASSERT(lane.node < n_nodes, "forced node out of range");
-    packed[lane.node] |= std::uint64_t{lane.set} << (8 * i);
-    dirty[lane.node] = static_cast<std::uint8_t>(dirty[lane.node] | 1u << i);
-    forced[lane.node] = static_cast<std::uint8_t>(forced[lane.node] | 1u << i);
-    first = std::min(first, lane.node);
+    touch(lane.node);
+    packed_[lane.node] |= std::uint64_t{lane.set} << (8 * i);
+    lane_dirty_[lane.node] =
+        static_cast<std::uint8_t>(lane_dirty_[lane.node] | 1u << i);
+    lane_forced_[lane.node] =
+        static_cast<std::uint8_t>(lane_forced_[lane.node] | 1u << i);
+    for (const NodeId reader : model_->fanout(lane.node)) {
+      work_.push(reader);
+    }
+    if (lane.stop != kNoNode) {
+      GDF_ASSERT(i < stop_values.size(), "missing stop_values entry");
+      any_stop = true;
+      stop_lanes |= 1u << i;
+      stop_values[i] = baseline[lane.stop];
+    }
   }
   const auto lane_value = [&](NodeId id, unsigned lane) -> VSet {
-    if ((dirty[id] >> lane & 1u) != 0) {
-      return static_cast<VSet>(packed[id] >> (8 * lane));
+    if ((dirty_of(id) >> lane & 1u) != 0) {
+      return static_cast<VSet>(packed_[id] >> (8 * lane));
     }
     return baseline[id];
   };
-  for (NodeId id = first + 1; id < n_nodes; ++id) {
+  NodeId id;
+  while (work_.pop(&id)) {
     const Node& n = model_->node(id);
-    if (n.source()) {
-      continue;
+    const std::uint8_t in_dirty = static_cast<std::uint8_t>(
+        dirty_of(n.in0) | (n.in1 != kNoNode ? dirty_of(n.in1) : 0));
+    if (in_dirty == 0) {
+      continue;  // the inputs' waves died before reaching this reader
     }
-    std::uint8_t affected = dirty[n.in0];
-    if (n.in1 != kNoNode) {
-      affected = static_cast<std::uint8_t>(affected | dirty[n.in1]);
-    }
-    affected = static_cast<std::uint8_t>(affected & ~forced[id]);
+    touch(id);
+    std::uint8_t affected =
+        static_cast<std::uint8_t>(in_dirty & ~lane_forced_[id]);
     while (affected != 0) {
       const unsigned lane = static_cast<unsigned>(__builtin_ctz(affected));
       affected = static_cast<std::uint8_t>(affected & (affected - 1));
@@ -197,31 +221,51 @@ unsigned TwoFrameSim::forced_po_carrier_mask(
           *algebra_, n.kind, lane_value(n.in0, lane),
           n.in1 != kNoNode ? lane_value(n.in1, lane) : kEmptySet);
       if (out != baseline[id]) {
-        packed[id] = (packed[id] & ~(std::uint64_t{0xFF} << (8 * lane))) |
-                     (std::uint64_t{out} << (8 * lane));
-        dirty[id] = static_cast<std::uint8_t>(dirty[id] | 1u << lane);
+        packed_[id] = (packed_[id] & ~(std::uint64_t{0xFF} << (8 * lane))) |
+                      (std::uint64_t{out} << (8 * lane));
+        lane_dirty_[id] =
+            static_cast<std::uint8_t>(lane_dirty_[id] | 1u << lane);
+      }
+    }
+    // Truncated lanes hand their value over at the stop node and go quiet:
+    // every path to an observation point passes it, so nothing downstream
+    // of it can matter to the caller.
+    if (any_stop) {
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (lanes[i].stop == id && (lane_dirty_[id] >> i & 1u) != 0) {
+          stop_values[i] = static_cast<VSet>(packed_[id] >> (8 * i));
+          lane_dirty_[id] =
+              static_cast<std::uint8_t>(lane_dirty_[id] & ~(1u << i));
+        }
+      }
+    }
+    if (lane_dirty_[id] != 0) {
+      for (const NodeId reader : model_->fanout(id)) {
+        work_.push(reader);
       }
     }
   }
 
   // A fault-free baseline is never carrier-only, so only lanes that dirtied
-  // a PO observation point can observe.
+  // a PO observation point can observe. Truncated lanes answer at their
+  // stop node instead and are filtered out of the verdict below (when the
+  // stop is a true dominator their wave cannot reach a PO anyway).
   unsigned mask = 0;
   for (const NodeId obs : model_->observation_points()) {
     if (!model_->node(obs).is_po) {
       continue;
     }
-    std::uint8_t d = dirty[obs];
+    std::uint8_t d = dirty_of(obs);
     while (d != 0) {
       const unsigned lane = static_cast<unsigned>(__builtin_ctz(d));
       d = static_cast<std::uint8_t>(d & (d - 1));
-      const VSet s = static_cast<VSet>(packed[obs] >> (8 * lane));
+      const VSet s = static_cast<VSet>(packed_[obs] >> (8 * lane));
       if (s != kEmptySet && (s & ~kCarrierSet) == 0) {
         mask |= 1u << lane;
       }
     }
   }
-  return mask;
+  return mask & ~stop_lanes;
 }
 
 void TwoFrameSim::run(const TwoFrameStimulus& stimulus,

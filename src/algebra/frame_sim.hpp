@@ -15,6 +15,7 @@
 #include "algebra/model.hpp"
 #include "algebra/tables.hpp"
 #include "algebra/value_set.hpp"
+#include "sim/worklist.hpp"
 
 namespace gdf::alg {
 
@@ -68,26 +69,42 @@ class TwoFrameSim {
 
   /// Incremental settle: `node_sets` holds a settled pass (under `fault`)
   /// and `changed` lists source nodes whose raw stimulus set is replaced.
-  /// Re-evaluates only the affected cones; the result is exactly what
-  /// run() with the updated stimulus would produce.
+  /// Re-evaluates only the affected cones (dirty worklist over the
+  /// topological node order — cost is the cone, not the circuit); the
+  /// result is exactly what run() with the updated stimulus would produce.
   void rerun_sources(std::span<const std::pair<NodeId, VSet>> changed,
                      const FaultSpec* fault,
                      std::vector<VSet>& node_sets) const;
 
   /// One what-if scenario of a batched stem sweep: `node`'s value set is
-  /// replaced by `set` before its fanout is evaluated.
+  /// replaced by `set` before its fanout is evaluated. When `stop` names a
+  /// node, the scenario's propagation is truncated there and its value at
+  /// `stop` is reported instead of a PO verdict — the hook for
+  /// dominator-aware stem marks (every path to an observation point passes
+  /// the stop node, so the value there decides the scenario).
   struct ForcedLane {
     NodeId node = kNoNode;
     VSet set = kEmptySet;
+    NodeId stop = kNoNode;
   };
 
   /// Batched run_forced over a shared fault-free baseline: up to eight
   /// independent scenarios evaluated in one packed cone sweep (one byte
-  /// lane per scenario). Returns a bitmask with bit i set when scenario i
-  /// forces a carrier-only value at some primary output — the only fact
-  /// critical path tracing needs from a stem correction.
+  /// lane per scenario). For lanes without a stop node, the returned
+  /// bitmask has bit i set when scenario i forces a carrier-only value at
+  /// some primary output. For lanes with one, stop_values[i] (which must
+  /// have one entry per lane) receives the scenario's settled value at its
+  /// stop node — baseline when the wave never reaches it — and the mask
+  /// bit stays clear.
+  unsigned forced_sweep(std::span<const VSet> baseline,
+                        std::span<const ForcedLane> lanes,
+                        std::span<VSet> stop_values) const;
+
+  /// forced_sweep without truncation — every lane reports the PO verdict.
   unsigned forced_po_carrier_mask(std::span<const VSet> baseline,
-                                  std::span<const ForcedLane> lanes) const;
+                                  std::span<const ForcedLane> lanes) const {
+    return forced_sweep(baseline, lanes, {});
+  }
 
  private:
   /// Re-evaluates the fanout cone of `from` inside `node_sets`, whose value
@@ -97,11 +114,15 @@ class TwoFrameSim {
 
   const AtpgModel* model_;
   const DelayAlgebra* algebra_;
-  /// Scratch buffers for the cone-replay paths (not thread-safe, like the
-  /// engines that own this simulator).
-  mutable std::vector<std::uint8_t> dirty_scratch_;
-  mutable std::vector<std::uint8_t> forced_scratch_;
-  mutable std::vector<std::uint64_t> packed_scratch_;
+  /// Scratch for the cone-replay paths (not thread-safe, like the engines
+  /// that own this simulator). The worklist resets in O(previous wave),
+  /// so replays carry no per-call O(nodes) cost.
+  mutable sim::BitQueue work_;
+  mutable std::vector<std::uint64_t> packed_;
+  mutable std::vector<std::uint8_t> lane_dirty_;
+  mutable std::vector<std::uint8_t> lane_forced_;
+  mutable std::vector<std::uint64_t> lane_stamp_;
+  mutable std::uint64_t lane_epoch_ = 0;
 };
 
 }  // namespace gdf::alg

@@ -161,14 +161,17 @@ AtpgModel::AtpgModel(const net::Netlist& nl) : nl_(&nl) {
     fanout_begin_[i] += fanout_begin_[i - 1];
   }
   fanout_pool_.resize(fanout_begin_.back());
+  fanout_in_bits_.resize(fanout_begin_.back());
   std::vector<std::uint32_t> cursor(fanout_begin_.begin(),
                                     fanout_begin_.end() - 1);
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     const Node& n = nodes_[id];
     if (n.in0 != kNoNode) {
+      fanout_in_bits_[cursor[n.in0]] = 1;
       fanout_pool_[cursor[n.in0]++] = id;
     }
     if (n.in1 != kNoNode) {
+      fanout_in_bits_[cursor[n.in1]] = 2;
       fanout_pool_[cursor[n.in1]++] = id;
     }
   }
@@ -190,6 +193,64 @@ AtpgModel::AtpgModel(const net::Netlist& nl) : nl_(&nl) {
         work.push_back(input);
       }
     }
+  }
+
+  // Reachability masks and immediate dominators toward the observation
+  // sinks, in one reverse-topological pass. The dominator relation is over
+  // the fanout DAG extended with a virtual sink T fed by every observation
+  // point; kNoNode plays the role of T (conveniently the largest id, so
+  // the standard two-finger intersection walk works unchanged). Node ids
+  // are topological, so when `id` is processed every reader has its final
+  // idom.
+  obs_reach_.assign(nodes_.size(), 0);
+  po_reach_.assign(nodes_.size(), 0);
+  idom_.assign(nodes_.size(), kNoNode);
+  const auto intersect = [this](NodeId a, NodeId b) {
+    while (a != b) {
+      if (a < b) {
+        a = idom_[a];
+      } else {
+        b = idom_[b];
+      }
+    }
+    return a;
+  };
+  for (NodeId id = static_cast<NodeId>(nodes_.size()); id-- > 0;) {
+    bool reach = obs_mask_[id];
+    bool po = nodes_[id].is_po;
+    // An observation point's own edge to T pins its idom at T (kNoNode);
+    // otherwise start undefined and fold the reachable readers in.
+    bool have = reach;
+    NodeId cand = kNoNode;
+    for (const NodeId reader : fanout(id)) {
+      if (!obs_reach_[reader]) {
+        continue;
+      }
+      reach = true;
+      po = po || po_reach_[reader] != 0;
+      cand = have ? intersect(cand, reader) : reader;
+      have = true;
+    }
+    obs_reach_[id] = reach ? 1 : 0;
+    po_reach_[id] = po ? 1 : 0;
+    idom_[id] = reach ? cand : kNoNode;
+  }
+
+  // Register-role CSR: dff indices for which a node is the PPI / PPO
+  // partner.
+  std::vector<std::vector<std::uint32_t>> roles(nodes_.size());
+  for (std::size_t k = 0; k < ppi_nodes_.size(); ++k) {
+    roles[ppi_nodes_[k]].push_back(static_cast<std::uint32_t>(k));
+    roles[ppo_nodes_[k]].push_back(static_cast<std::uint32_t>(k));
+  }
+  role_begin_.assign(nodes_.size() + 1, 0);
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    role_begin_[id + 1] =
+        role_begin_[id] + static_cast<std::uint32_t>(roles[id].size());
+  }
+  role_pool_.reserve(role_begin_.back());
+  for (const auto& r : roles) {
+    role_pool_.insert(role_pool_.end(), r.begin(), r.end());
   }
 }
 

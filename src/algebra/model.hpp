@@ -59,6 +59,12 @@ class AtpgModel {
   /// fanout_begin()[id+1]].
   std::span<const std::uint32_t> fanout_begin() const { return fanout_begin_; }
   std::span<const NodeId> fanout_pool() const { return fanout_pool_; }
+  /// Parallel to fanout_pool(): which input pins of the reader this edge
+  /// feeds (bit 0 = in0, bit 1 = in1) — precomputed so event-driven
+  /// engines need one load per edge instead of re-deriving it.
+  std::span<const std::uint8_t> fanout_in_bits() const {
+    return fanout_in_bits_;
+  }
 
   /// Node completing the function of netlist gate `g`.
   NodeId head_of(net::GateId g) const { return head_[g]; }
@@ -79,6 +85,31 @@ class AtpgModel {
   /// unreachable) — the propagation guidance heuristic.
   int obs_distance(NodeId id) const { return obs_distance_[id]; }
 
+  /// True when some observation point is reachable through `id`'s fanout.
+  bool obs_reachable(NodeId id) const { return obs_reach_[id] != 0; }
+  /// True when some primary output is reachable through `id`'s fanout —
+  /// the only observation kind critical path tracing's PO marks can use.
+  bool po_reachable(NodeId id) const { return po_reach_[id] != 0; }
+
+  /// Immediate dominator of `id` toward the observation sinks: the unique
+  /// nearest node (other than `id`) that every path from `id` to every
+  /// reachable observation point passes through. kNoNode when `id` is
+  /// dominated only by the virtual sink (its paths diverge for good, or it
+  /// is itself an observation point) or when no observation point is
+  /// reachable at all — disambiguate with obs_reachable(). Chains strictly
+  /// increase in node id, so idom walks terminate.
+  NodeId idom(NodeId id) const { return idom_[id]; }
+
+  /// Flip-flop indices for which `id` serves as the PPI or PPO partner (a
+  /// PPO node can serve several flip-flops when fanout is not expanded),
+  /// as a CSR so the common no-role case is a two-load check. Shared by
+  /// every implication engine built over this model.
+  std::span<const std::uint32_t> register_roles(NodeId id) const {
+    return std::span<const std::uint32_t>(
+        role_pool_.data() + role_begin_[id],
+        role_begin_[id + 1] - role_begin_[id]);
+  }
+
   /// Nodes in the transitive fanout of `from` (including `from`): the only
   /// nodes on which a fault at `from` can place a carrier value.
   std::vector<NodeId> carrier_cone(NodeId from) const;
@@ -93,6 +124,7 @@ class AtpgModel {
   std::vector<NodeId> in1_;
   std::vector<std::uint32_t> fanout_begin_;
   std::vector<NodeId> fanout_pool_;
+  std::vector<std::uint8_t> fanout_in_bits_;
   std::vector<NodeId> head_;
   std::vector<NodeId> pi_nodes_;
   std::vector<NodeId> ppi_nodes_;
@@ -100,6 +132,11 @@ class AtpgModel {
   std::vector<NodeId> obs_;
   std::vector<bool> obs_mask_;
   std::vector<int> obs_distance_;
+  std::vector<std::uint8_t> obs_reach_;
+  std::vector<std::uint8_t> po_reach_;
+  std::vector<NodeId> idom_;
+  std::vector<std::uint32_t> role_begin_;
+  std::vector<std::uint32_t> role_pool_;
 };
 
 }  // namespace gdf::alg

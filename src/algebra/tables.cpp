@@ -120,6 +120,30 @@ DelayAlgebra::DelayAlgebra(Mode mode) : mode_(mode) {
       }
     }
   }
+
+  // Backward support sets: bwd_[op][b][out] keeps every single value that
+  // can, beside some member of b, produce a member of out. Derived from
+  // the forward singleton rows so the two tables can never disagree.
+  for (const Op2 op : {Op2::And, Op2::Or, Op2::Xor}) {
+    const auto& fwd = fwd_[static_cast<int>(op)];
+    auto& bwd = bwd_[static_cast<int>(op)];
+    for (int b = 0; b < 256; ++b) {
+      // Per candidate member m, the outputs reachable beside b.
+      std::array<VSet, kV8Count> images;
+      for (int v = 0; v < kV8Count; ++v) {
+        images[v] = fwd[vset_of(static_cast<V8>(v))][b];
+      }
+      for (int out = 0; out < 256; ++out) {
+        VSet support = kEmptySet;
+        for (int v = 0; v < kV8Count; ++v) {
+          if ((images[v] & out) != 0) {
+            support |= vset_of(static_cast<V8>(v));
+          }
+        }
+        bwd[b][out] = support;
+      }
+    }
+  }
 }
 
 V8 DelayAlgebra::v_not(V8 a) const { return kNot[idx(a)]; }
@@ -161,18 +185,29 @@ VSet DelayAlgebra::site_transform_pre(VSet transformed, bool slow_to_rise) {
   return pre;
 }
 
-const DelayAlgebra& robust_algebra() {
-  static const DelayAlgebra instance(Mode::Robust);
+std::shared_ptr<const DelayAlgebra> shared_algebra(Mode mode) {
+  // One genuinely shared instance per mode, built lazily and thread-safely
+  // on first request; handles really co-own the tables.
+  if (mode == Mode::Robust) {
+    static const std::shared_ptr<const DelayAlgebra> instance =
+        std::make_shared<const DelayAlgebra>(Mode::Robust);
+    return instance;
+  }
+  static const std::shared_ptr<const DelayAlgebra> instance =
+      std::make_shared<const DelayAlgebra>(Mode::NonRobust);
   return instance;
+}
+
+const DelayAlgebra& robust_algebra() {
+  return *shared_algebra(Mode::Robust);
 }
 
 const DelayAlgebra& nonrobust_algebra() {
-  static const DelayAlgebra instance(Mode::NonRobust);
-  return instance;
+  return *shared_algebra(Mode::NonRobust);
 }
 
 const DelayAlgebra& algebra_for(Mode mode) {
-  return mode == Mode::Robust ? robust_algebra() : nonrobust_algebra();
+  return *shared_algebra(mode);
 }
 
 }  // namespace gdf::alg

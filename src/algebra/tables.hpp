@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 
 #include "algebra/value8.hpp"
 #include "algebra/value_set.hpp"
@@ -54,18 +55,12 @@ class DelayAlgebra {
   }
 
   /// Members of `a` that can, with some member of `b`, produce a value in
-  /// `out` — the backward pruning step of the implication engine.
+  /// `out` — the backward pruning step of the implication engine. Whether a
+  /// member survives is independent of the other members of `a`, so the
+  /// support set over the full domain is memoized per (b, out) pair and the
+  /// call collapses to one lookup plus an intersection.
   VSet set_bwd_first(Op2 op, VSet a, VSet b, VSet out) const {
-    const auto& table = fwd_[static_cast<int>(op)];
-    VSet kept = kEmptySet;
-    for (VSet rest = a; rest != 0;
-         rest = static_cast<VSet>(rest & (rest - 1))) {
-      const VSet member = static_cast<VSet>(rest & (~rest + 1u));
-      if ((table[member][b] & out) != 0) {
-        kept |= member;
-      }
-    }
-    return kept;
+    return static_cast<VSet>(a & bwd_[static_cast<int>(op)][b][out]);
   }
 
   /// Fault-site transform: replaces the activating transition by its
@@ -84,11 +79,21 @@ class DelayAlgebra {
   std::array<std::array<V8, 8>, 8> xor2_;
   std::array<VSet, 256> not_image_;
   std::array<std::array<std::array<VSet, 256>, 256>, 3> fwd_;
+  /// bwd_[op][b][out]: members of the full domain that can, with some
+  /// member of b, produce a value in out.
+  std::array<std::array<std::array<VSet, 256>, 256>, 3> bwd_;
 };
 
-/// Shared immutable instances (the tables are pure data).
+/// Shared immutable instances (the tables are pure data). References into
+/// the same per-mode instances shared_algebra() owns.
 const DelayAlgebra& robust_algebra();
 const DelayAlgebra& nonrobust_algebra();
 const DelayAlgebra& algebra_for(Mode mode);
+
+/// Shared-ownership handle on the process-wide memoized tables: one
+/// instance per mode, built lazily on first request. CircuitContext holds
+/// one so every session on a context reads (and co-owns) the same tables
+/// instead of materializing its own.
+std::shared_ptr<const DelayAlgebra> shared_algebra(Mode mode);
 
 }  // namespace gdf::alg

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "algebra/model.hpp"
+#include "algebra/tables.hpp"
 #include "core/options.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/flat_circuit.hpp"
@@ -46,6 +48,12 @@ class CircuitContext {
   /// every FogbusterResult reports in, whatever the targeting order.
   const std::vector<tdgen::DelayFault>& faults() const { return faults_; }
 
+  /// The memoized set-operator tables, co-owned by the context: built once
+  /// per process and shared by every session on this context instead of
+  /// being materialized per run. Acquired lazily per mode (thread-safe),
+  /// so a robust-only process never builds the non-robust tables.
+  const alg::DelayAlgebra& algebra(alg::Mode mode) const;
+
   /// True when `options` would derive this exact structure.
   bool structurally_compatible(const AtpgOptions& options) const;
 
@@ -57,6 +65,10 @@ class CircuitContext {
 
   bool expand_branches_;
   tdgen::FaultListOptions fault_sites_;
+  mutable std::once_flag robust_once_;
+  mutable std::once_flag nonrobust_once_;
+  mutable std::shared_ptr<const alg::DelayAlgebra> robust_algebra_;
+  mutable std::shared_ptr<const alg::DelayAlgebra> nonrobust_algebra_;
   net::Netlist nl_;
   alg::AtpgModel model_;  ///< holds a pointer to nl_: address-stable here
   std::shared_ptr<const sim::FlatCircuit> flat_;

@@ -73,6 +73,7 @@ void StageStats::add(const StageStats& other) {
   aborted_local += other.aborted_local;
   aborted_sequential += other.aborted_sequential;
   aborted_time += other.aborted_time;
+  search.add(other.search);
 }
 
 namespace {
@@ -136,7 +137,7 @@ Fogbuster::Fogbuster(std::shared_ptr<const CircuitContext> context,
                      AtpgOptions options)
     : ctx_(require_context(std::move(context))),
       options_(options),
-      algebra_(&alg::algebra_for(options.mode)),
+      algebra_(&ctx_->algebra(options.mode)),
       fill_rng_(options.fill_seed),
       fausim_(ctx_->flat()),
       tdsim_(ctx_->model(), *algebra_) {
@@ -214,9 +215,20 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
     return FaultStatus::Aborted;
   };
 
+  // Folds the searches' counters into the per-fault stage stats whichever
+  // way this function returns (the searches add to the tally on
+  // destruction, which runs before this scope's).
+  struct TallyScope {
+    tdgen::SearchCounters tally;
+    StageStats* stages;
+    ~TallyScope() { stages->search.add(tally); }
+  } tally_scope{{}, stages};
+
   semilet::Budget budget(options_.sequential);
+  tdgen::TdgenOptions local_options = options_.local;
+  local_options.tally = &tally_scope.tally;
   tdgen::TdgenSearch local_search(ctx_->model(), *algebra_, fault,
-                                  options_.local);
+                                  local_options);
   LocalTest local;
 
   for (;;) {
@@ -309,8 +321,14 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
         if (!known_needed) {
           relied.clear();
         }
+        // Re-entries share the first search's sorted cone and post-init
+        // engine snapshot (same fault line) and report into the same
+        // tally.
+        tdgen::TdgenOptions reentry_options = local_options;
+        reentry_options.shared_cone = &local_search.sorted_cone();
+        reentry_options.init_donor = &local_search.engine();
         tdgen::TdgenSearch reentry(ctx_->model(), *algebra_, fault,
-                                   options_.local);
+                                   reentry_options);
         for (std::size_t k = 0; k < n_ff; ++k) {
           switch (tdgen::classify_ppo(local.ppo_sets[k])) {
             case PpoKind::Known0:

@@ -31,6 +31,7 @@
 #include "semilet/options.hpp"
 #include "sim/flat_circuit.hpp"
 #include "tdgen/fault.hpp"
+#include "tdgen/tdgen.hpp"
 #include "tdsim/tdsim.hpp"
 
 namespace gdf::core {
@@ -59,6 +60,12 @@ struct StageStats {
   long aborted_local = 0;      ///< gave up in the local (TDgen) search
   long aborted_sequential = 0; ///< gave up in propagation/justification/sync
   long aborted_time = 0;       ///< per-fault wall-clock cap hit
+
+  // Search-core counters: the incremental engine's work, so speedups on
+  // the TDgen hot path stay attributable (--stages prints them and
+  // bench/run_benchmarks.sh records them). One shared struct with the
+  // searches, so new counters flow through every merge site unchanged.
+  tdgen::SearchCounters search;
 
   /// Accumulates another run's (or fault's) counters into this one.
   /// Addition is commutative, so merging per-fault slices in any order

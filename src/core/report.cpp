@@ -58,7 +58,13 @@ std::string format_stage_stats(const StageStats& s) {
      << "  dropped by fault sim   " << s.dropped << "\n"
      << "  aborts                 local " << s.aborted_local
      << ", sequential " << s.aborted_sequential << ", time "
-     << s.aborted_time;
+     << s.aborted_time << "\n"
+     << "  search core            implications "
+     << s.search.implication_assigns << ", trail pushes "
+     << s.search.trail_pushes << ", pops " << s.search.trail_pops << "\n"
+     << "  verification probes    " << s.search.probe_runs
+     << " (cone-scoped " << s.search.probe_cone << ", full "
+     << s.search.probe_full << ")";
   return os.str();
 }
 

@@ -31,7 +31,7 @@ std::vector<std::size_t> identity_order(std::size_t n) {
 std::vector<long> accidental_detection_counts(
     const core::CircuitContext& ctx, const core::AtpgOptions& options) {
   const net::Netlist& nl = ctx.netlist();
-  const alg::DelayAlgebra& algebra = alg::algebra_for(options.mode);
+  const alg::DelayAlgebra& algebra = ctx.algebra(options.mode);
   fausim::Fausim fausim(ctx.flat());
   const tdsim::Tdsim tdsim(ctx.model(), algebra);
   // Decorrelated from the X-fill stream of the actual runs, but still a

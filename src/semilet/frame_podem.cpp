@@ -1,7 +1,6 @@
 #include "semilet/frame_podem.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "base/error.hpp"
 
@@ -54,9 +53,43 @@ FramePodem::FramePodem(const sim::SeqSimulator& sim, Budget& budget,
 }
 
 void FramePodem::simulate() {
-  sim_->eval_frame(pis_, state_, lines_,
-                   request_.injection.active() ? &request_.injection
-                                               : nullptr);
+  const sim::Injection* injection =
+      request_.injection.active() ? &request_.injection : nullptr;
+  if (!lines_ready_) {
+    sim_->eval_frame(pis_, state_, lines_, injection);
+    lines_ready_ = true;
+    changed_sources_.clear();
+    return;
+  }
+  if (changed_sources_.empty()) {
+    return;  // still settled from the previous iteration
+  }
+  // Delta resettle: write the changed boundary values (re-applying the
+  // injection when it sits on one) and replay only their cones. Exactly
+  // equivalent to the full eval_frame above.
+  const sim::FlatCircuit& fc = *sim_->flat();
+  work_.begin(fc.body_count());
+  bool any = false;
+  for (const auto& [is_ppi, index] : changed_sources_) {
+    const net::GateId line =
+        is_ppi ? nl_->dffs()[index] : nl_->inputs()[index];
+    Lv v = is_ppi ? state_[index] : pis_[index];
+    if (injection != nullptr && injection->line == line) {
+      v = sim::combine(sim::good_value(v), injection->faulty);
+    }
+    if (v == lines_[line]) {
+      continue;
+    }
+    lines_[line] = v;
+    for (const std::uint32_t reader : fc.readers(line)) {
+      work_.push(reader);
+    }
+    any = true;
+  }
+  changed_sources_.clear();
+  if (any) {
+    sim_->resettle_frame(lines_, work_, injection);
+  }
 }
 
 bool FramePodem::any_fault_effect() const {
@@ -113,25 +146,25 @@ bool FramePodem::hopeless() const {
     return false;
   }
   // ObserveFault: X-path check — some D/D' line must reach an observation
-  // point through X-valued lines.
-  std::deque<GateId> work;
-  std::vector<bool> seen(nl_->size(), false);
+  // point through X-valued lines. Scratch buffers are members: this runs
+  // every search iteration.
+  seen_.assign(nl_->size(), 0);
+  bfs_.clear();
   for (GateId id = 0; id < nl_->size(); ++id) {
     if (sim::is_fault_effect(lines_[id])) {
-      work.push_back(id);
-      seen[id] = true;
+      bfs_.push_back(id);
+      seen_[id] = 1;
     }
   }
-  if (work.empty()) {
+  if (bfs_.empty()) {
     if (request_.activation_line != net::kNoGate &&
         lines_[request_.activation_line] == Lv::X) {
       return false;  // the fault could still be activated in this frame
     }
     return true;  // the fault effect died (or cannot appear) in this frame
   }
-  while (!work.empty()) {
-    const GateId id = work.front();
-    work.pop_front();
+  for (std::size_t head = 0; head < bfs_.size(); ++head) {
+    const GateId id = bfs_[head];
     if (nl_->is_po(id)) {
       return false;
     }
@@ -139,13 +172,13 @@ bool FramePodem::hopeless() const {
       return false;
     }
     for (const GateId reader : nl_->gate(id).fanout) {
-      if (seen[reader] || nl_->gate(reader).type == GateType::Dff) {
+      if (seen_[reader] != 0 || nl_->gate(reader).type == GateType::Dff) {
         continue;
       }
       const Lv v = lines_[reader];
       if (v == Lv::X || sim::is_fault_effect(v)) {
-        seen[reader] = true;
-        work.push_back(reader);
+        seen_[reader] = 1;
+        bfs_.push_back(reader);
       }
     }
   }
@@ -314,6 +347,7 @@ bool FramePodem::apply(const Decision& d) {
     GDF_ASSERT(pis_[d.index] == Lv::X, "PI already assigned");
     pis_[d.index] = d.value;
   }
+  changed_sources_.emplace_back(d.is_ppi, d.index);
   stack_.push_back(d);
   return true;
 }
@@ -333,6 +367,7 @@ bool FramePodem::backtrack() {
       } else {
         pis_[d.index] = d.value;
       }
+      changed_sources_.emplace_back(d.is_ppi, d.index);
       return true;
     }
     if (d.is_ppi) {
@@ -340,6 +375,7 @@ bool FramePodem::backtrack() {
     } else {
       pis_[d.index] = Lv::X;
     }
+    changed_sources_.emplace_back(d.is_ppi, d.index);
     stack_.pop_back();
   }
   return false;

@@ -95,6 +95,15 @@ class FramePodem {
   sim::StateVec state_;
   std::vector<sim::Lv> lines_;
   std::vector<Decision> stack_;
+  /// Sources (is_ppi, index) assigned or un-assigned since the last
+  /// settle: simulate() replays only their cones instead of re-evaluating
+  /// the frame — the frame-PODEM side of the push/pop-deltas discipline.
+  std::vector<std::pair<bool, std::size_t>> changed_sources_;
+  sim::BitQueue work_;
+  bool lines_ready_ = false;
+  /// Reused X-path scratch (hopeless() runs every search iteration).
+  mutable std::vector<std::uint8_t> seen_;
+  mutable std::vector<net::GateId> bfs_;
   bool started_ = false;
   bool aborted_ = false;
   bool last_was_refinable_ = false;

@@ -40,6 +40,28 @@ FlatCircuit::FlatCircuit(const net::Netlist& nl)
     dff_data_.push_back(nl.gate(dff).fanin[0]);
   }
 
+  // Line → body map and the reader CSR (line → consuming body indices),
+  // the incremental resettle's fanout walk.
+  body_of_.assign(nl.size(), kNoBody);
+  for (std::size_t b = 0; b < out_.size(); ++b) {
+    body_of_[out_[b]] = static_cast<std::uint32_t>(b);
+  }
+  reader_begin_.assign(nl.size() + 1, 0);
+  for (const net::GateId driver : fanin_) {
+    ++reader_begin_[driver + 1];
+  }
+  for (std::size_t i = 1; i < reader_begin_.size(); ++i) {
+    reader_begin_[i] += reader_begin_[i - 1];
+  }
+  reader_pool_.resize(fanin_.size());
+  std::vector<std::uint32_t> cursor(reader_begin_.begin(),
+                                    reader_begin_.end() - 1);
+  for (std::size_t b = 0; b < out_.size(); ++b) {
+    for (std::uint32_t i = fanin_begin_[b]; i < fanin_begin_[b + 1]; ++i) {
+      reader_pool_[cursor[fanin_[i]]++] = static_cast<std::uint32_t>(b);
+    }
+  }
+
   level_ = lev.level;
   obs_distance_ = net::distance_to_observation(nl);
   pi_reachable_.assign(nl.size(), 0);

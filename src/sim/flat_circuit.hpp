@@ -53,6 +53,19 @@ class FlatCircuit {
   /// Whether a line transitively depends on some primary input.
   bool pi_reachable(net::GateId id) const { return pi_reachable_[id] != 0; }
 
+  /// No body drives the line (it is an Input or Dff boundary).
+  static constexpr std::uint32_t kNoBody = 0xFFFFFFFFu;
+  /// Index of the body computing `line`, or kNoBody for boundaries.
+  std::uint32_t body_index(net::GateId line) const { return body_of_[line]; }
+  /// Bodies reading `line`, as body indices (CSR) — the fanout walk of the
+  /// incremental frame resettle. Body indices are levelized, so they serve
+  /// directly as the topological order of a dirty worklist.
+  std::span<const std::uint32_t> readers(net::GateId line) const {
+    return std::span<const std::uint32_t>(
+        reader_pool_.data() + reader_begin_[line],
+        reader_begin_[line + 1] - reader_begin_[line]);
+  }
+
   /// Builds a shareable flat form; the canonical way engines obtain one
   /// when handed a bare netlist.
   static std::shared_ptr<const FlatCircuit> build(const net::Netlist& nl);
@@ -71,7 +84,64 @@ class FlatCircuit {
   std::vector<int> level_;
   std::vector<int> obs_distance_;
   std::vector<std::uint8_t> pi_reachable_;
+  std::vector<std::uint32_t> body_of_;
+  std::vector<std::uint32_t> reader_begin_;
+  std::vector<std::uint32_t> reader_pool_;
 };
+
+/// One body evaluation over already-settled input lines — the per-gate
+/// step of eval_flat, exposed so the incremental resettle can replay
+/// single bodies out of a dirty worklist.
+template <class Ops>
+inline typename Ops::Value eval_body(const FlatCircuit& fc, const Ops& ops,
+                                     const typename Ops::Value* lines,
+                                     std::size_t b) {
+  using net::GateType;
+  using V = typename Ops::Value;
+  const net::GateType type = fc.body_type()[b];
+  const std::uint32_t lo = fc.fanin_begin()[b];
+  const std::uint32_t hi = fc.fanin_begin()[b + 1];
+  const net::GateId* pool = fc.fanin_pool().data();
+  V acc = lines[pool[lo]];
+  switch (type) {
+    case GateType::Buf:
+      break;
+    case GateType::Not:
+      acc = ops.not_(acc);
+      break;
+    case GateType::And:
+    case GateType::Nand:
+      for (std::uint32_t i = lo + 1; i < hi; ++i) {
+        acc = ops.and_(acc, lines[pool[i]]);
+      }
+      if (type == GateType::Nand) {
+        acc = ops.not_(acc);
+      }
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+      for (std::uint32_t i = lo + 1; i < hi; ++i) {
+        acc = ops.or_(acc, lines[pool[i]]);
+      }
+      if (type == GateType::Nor) {
+        acc = ops.not_(acc);
+      }
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      for (std::uint32_t i = lo + 1; i < hi; ++i) {
+        acc = ops.xor_(acc, lines[pool[i]]);
+      }
+      if (type == GateType::Xnor) {
+        acc = ops.not_(acc);
+      }
+      break;
+    case GateType::Input:
+    case GateType::Dff:
+      break;  // never flattened into a body
+  }
+  return acc;
+}
 
 /// The shared levelized kernel loop. `Ops` supplies the value domain:
 /// a `Value` type and `not_` / `and_` / `or_` / `xor_` members (scalar
@@ -82,55 +152,10 @@ class FlatCircuit {
 template <class Ops, class Post>
 inline void eval_flat(const FlatCircuit& fc, const Ops& ops,
                       typename Ops::Value* lines, Post&& post) {
-  using net::GateType;
-  using V = typename Ops::Value;
-  const net::GateType* types = fc.body_type().data();
   const net::GateId* outs = fc.body_out().data();
-  const std::uint32_t* begin = fc.fanin_begin().data();
-  const net::GateId* pool = fc.fanin_pool().data();
   const std::size_t n = fc.body_count();
   for (std::size_t b = 0; b < n; ++b) {
-    const std::uint32_t lo = begin[b];
-    const std::uint32_t hi = begin[b + 1];
-    V acc = lines[pool[lo]];
-    switch (types[b]) {
-      case GateType::Buf:
-        break;
-      case GateType::Not:
-        acc = ops.not_(acc);
-        break;
-      case GateType::And:
-      case GateType::Nand:
-        for (std::uint32_t i = lo + 1; i < hi; ++i) {
-          acc = ops.and_(acc, lines[pool[i]]);
-        }
-        if (types[b] == GateType::Nand) {
-          acc = ops.not_(acc);
-        }
-        break;
-      case GateType::Or:
-      case GateType::Nor:
-        for (std::uint32_t i = lo + 1; i < hi; ++i) {
-          acc = ops.or_(acc, lines[pool[i]]);
-        }
-        if (types[b] == GateType::Nor) {
-          acc = ops.not_(acc);
-        }
-        break;
-      case GateType::Xor:
-      case GateType::Xnor:
-        for (std::uint32_t i = lo + 1; i < hi; ++i) {
-          acc = ops.xor_(acc, lines[pool[i]]);
-        }
-        if (types[b] == GateType::Xnor) {
-          acc = ops.not_(acc);
-        }
-        break;
-      case GateType::Input:
-      case GateType::Dff:
-        break;  // never flattened into a body
-    }
-    lines[outs[b]] = acc;
+    lines[outs[b]] = eval_body(fc, ops, lines, b);
     post(outs[b], lines[outs[b]]);
   }
 }

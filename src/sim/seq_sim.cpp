@@ -1,5 +1,7 @@
 #include "sim/seq_sim.hpp"
 
+#include <algorithm>
+
 #include "base/error.hpp"
 
 namespace gdf::sim {
@@ -46,6 +48,33 @@ void SeqSimulator::eval_frame(std::span<const Lv> pis,
     });
   } else {
     eval_flat(fc, ops, line_values.data());
+  }
+}
+
+void SeqSimulator::resettle_frame(std::vector<Lv>& line_values,
+                                  BitQueue& work,
+                                  const Injection* injection) const {
+  const FlatCircuit& fc = *fc_;
+  const LvOps ops;
+  const net::GateId site = injection != nullptr && injection->active()
+                               ? injection->line
+                               : net::kNoGate;
+  // Body indices are levelized, so pops ascend through the affected cones
+  // with every input final; the wave dies wherever a value is unchanged.
+  std::uint32_t b;
+  while (work.pop(&b)) {
+    const net::GateId out = fc.body_out()[b];
+    Lv v = eval_body(fc, ops, line_values.data(), b);
+    if (out == site) {
+      v = combine(good_value(v), injection->faulty);
+    }
+    if (v == line_values[out]) {
+      continue;
+    }
+    line_values[out] = v;
+    for (const std::uint32_t reader : fc.readers(out)) {
+      work.push(reader);
+    }
   }
 }
 

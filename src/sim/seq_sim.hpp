@@ -15,6 +15,7 @@
 #include "netlist/netlist.hpp"
 #include "sim/flat_circuit.hpp"
 #include "sim/logic.hpp"
+#include "sim/worklist.hpp"
 
 namespace gdf::sim {
 
@@ -55,6 +56,15 @@ class SeqSimulator {
   void eval_frame(std::span<const Lv> pis, std::span<const Lv> state,
                   std::vector<Lv>& line_values,
                   const Injection* injection = nullptr) const;
+
+  /// Incremental resettle of a settled frame after boundary changes: the
+  /// caller updated some Input/Dff line values in `line_values` (already
+  /// including any injection at a boundary site) and pushed the changed
+  /// lines' readers() into `work`. Replays only the affected body cones;
+  /// the result is exactly eval_frame() over the updated boundary. The
+  /// worklist is caller-owned scratch so the simulator stays shareable.
+  void resettle_frame(std::vector<Lv>& line_values, BitQueue& work,
+                      const Injection* injection = nullptr) const;
 
   /// Next-state vector implied by settled line values (value at each DFF's
   /// data pin).

@@ -1,0 +1,76 @@
+// Bitmap worklist over topologically-ordered ids — the one cone-replay
+// scheduler shared by the incremental engines (two-frame verification
+// probes in algebra/frame_sim, the delta frame resettle in
+// semilet/frame_podem).
+//
+// Ids must be topological (every consumer's id is larger than its
+// producers' — true for AtpgModel nodes by construction and for
+// flat-circuit bodies via the levelization). Waves then only ever push
+// ahead of the pop cursor, so one monotone scan over the bitmap pops every
+// scheduled id in ascending order with all of its producers final.
+//
+// The bitmap makes both extremes cheap where a binary heap or a linear
+// span-scan pays: push/pop are O(1) bit operations (no log-factor, no
+// allocation), a sparse wave costs its own size plus a word-granular skip
+// over the gaps, and a dense wave degrades gracefully into the sequential
+// sweep. Only words actually touched are reset between waves, so starting
+// one is O(previous wave), never O(nodes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gdf::sim {
+
+class BitQueue {
+ public:
+  /// Ensures capacity for ids in [0, n) and starts a fresh (empty) wave.
+  void begin(std::size_t n) {
+    const std::size_t words = (n + 63) / 64;
+    if (words_.size() < words) {
+      words_.resize(words, 0);
+    }
+    limit_ = static_cast<std::uint32_t>(words);
+    for (const std::uint32_t w : touched_) {
+      words_[w] = 0;
+    }
+    touched_.clear();
+    cursor_ = 0;
+  }
+
+  /// Schedules `id` (idempotent).
+  void push(std::uint32_t id) {
+    const std::uint32_t w = id >> 6;
+    if (words_[w] == 0) {
+      touched_.push_back(w);
+    }
+    words_[w] |= std::uint64_t{1} << (id & 63);
+    if (w < cursor_) {
+      cursor_ = w;
+    }
+  }
+
+  /// Pops the smallest scheduled id; false when the wave is drained.
+  bool pop(std::uint32_t* id) {
+    while (cursor_ < limit_) {
+      const std::uint64_t word = words_[cursor_];
+      if (word != 0) {
+        const unsigned bit =
+            static_cast<unsigned>(__builtin_ctzll(word));
+        words_[cursor_] = word & (word - 1);
+        *id = (cursor_ << 6) | bit;
+        return true;
+      }
+      ++cursor_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> touched_;
+  std::uint32_t cursor_ = 0;
+  std::uint32_t limit_ = 0;
+};
+
+}  // namespace gdf::sim

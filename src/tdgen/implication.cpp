@@ -1,5 +1,7 @@
 #include "tdgen/implication.hpp"
 
+#include <cstdlib>
+
 #include "base/error.hpp"
 
 namespace gdf::tdgen {
@@ -22,37 +24,48 @@ using alg::VSet;
 // reason — see tables.cpp), so the register constraint can use value
 // initials directly in either mode.
 
+bool full_fixpoint_requested() {
+  static const bool requested = [] {
+    const char* env = std::getenv("GDF_FULL_FIXPOINT");
+    return env != nullptr && *env != '\0' && *env != '0';
+  }();
+  return requested;
+}
+
 ImplicationEngine::ImplicationEngine(const alg::AtpgModel& model,
-                                     const alg::DelayAlgebra& algebra)
-    : model_(&model), algebra_(&algebra) {
+                                     const alg::DelayAlgebra& algebra,
+                                     bool full_fixpoint)
+    : model_(&model),
+      algebra_(&algebra),
+      kinds_(model.kinds().data()),
+      in0s_(model.in0s().data()),
+      in1s_(model.in1s().data()),
+      fo_begin_(model.fanout_begin().data()),
+      fo_pool_(model.fanout_pool().data()),
+      fo_bits_(model.fanout_in_bits().data()),
+      full_fixpoint_(full_fixpoint) {
   sets_.assign(model.node_count(), kFullSet);
-  in_queue_.assign(model.node_count(), 0);
-  std::vector<std::vector<std::uint32_t>> roles(model.node_count());
-  for (std::size_t k = 0; k < model.ppis().size(); ++k) {
-    roles[model.ppis()[k]].push_back(static_cast<std::uint32_t>(k));
-    roles[model.ppo_node(k)].push_back(static_cast<std::uint32_t>(k));
-  }
-  role_begin_.assign(model.node_count() + 1, 0);
-  for (std::size_t id = 0; id < model.node_count(); ++id) {
-    role_begin_[id + 1] =
-        role_begin_[id] + static_cast<std::uint32_t>(roles[id].size());
-  }
-  role_pool_.reserve(role_begin_.back());
-  for (const auto& r : roles) {
-    role_pool_.insert(role_pool_.end(), r.begin(), r.end());
-  }
+  pending_.assign(model.node_count(), 0);
 }
 
 void ImplicationEngine::init(const alg::FaultSpec& fault) {
   fault_ = fault;
   trail_.clear();
+  level_marks_.clear();
   clear_queue();
   conflict_ = false;
 
   std::vector<bool> in_cone(model_->node_count(), false);
+  site_chain_.clear();
   if (fault.site != kNoNode) {
     for (const NodeId id : model_->carrier_cone(fault.site)) {
       in_cone[id] = true;
+    }
+    // The site's dominator chain: every observation path passes each of
+    // these, so a carrier-free chain node proves unobservability.
+    for (NodeId d = model_->idom(fault.site); d != kNoNode;
+         d = model_->idom(d)) {
+      site_chain_.push_back(d);
     }
   }
   for (NodeId id = 0; id < model_->node_count(); ++id) {
@@ -64,12 +77,36 @@ void ImplicationEngine::init(const alg::FaultSpec& fault) {
       s = alg::DelayAlgebra::site_transform(s, fault.slow_to_rise);
     }
     sets_[id] = s;
-    enqueue(id);
+    add_pending(id, kAll);
   }
   propagate();
+  init_sets_ = sets_;
+  init_conflict_ = conflict_;
+  init_ready_ = true;
+}
+
+bool ImplicationEngine::init_from(const ImplicationEngine& donor,
+                                  const alg::FaultSpec& fault) {
+  if (!donor.init_ready_ || donor.model_ != model_ ||
+      donor.algebra_ != algebra_ || donor.fault_.site != fault.site ||
+      donor.fault_.slow_to_rise != fault.slow_to_rise) {
+    return false;
+  }
+  fault_ = fault;
+  trail_.clear();
+  level_marks_.clear();
+  clear_queue();
+  sets_ = donor.init_sets_;
+  conflict_ = donor.init_conflict_;
+  site_chain_ = donor.site_chain_;
+  init_sets_ = donor.init_sets_;
+  init_conflict_ = donor.init_conflict_;
+  init_ready_ = true;
+  return true;
 }
 
 bool ImplicationEngine::assign(NodeId n, VSet allowed) {
+  ++counters_.assigns;
   if (conflict_) {
     return false;
   }
@@ -80,10 +117,10 @@ bool ImplicationEngine::assign(NodeId n, VSet allowed) {
 }
 
 void ImplicationEngine::clear_queue() {
-  // Only entries still pending carry a set flag; resetting those is
-  // O(queue) instead of O(nodes).
+  // Only entries still pending carry a mask; resetting those is O(queue)
+  // instead of O(nodes).
   for (std::size_t i = queue_head_; i < queue_.size(); ++i) {
-    in_queue_[queue_[i]] = 0;
+    pending_[queue_[i]] = 0;
   }
   queue_.clear();
   queue_head_ = 0;
@@ -91,6 +128,7 @@ void ImplicationEngine::clear_queue() {
 
 void ImplicationEngine::rollback(std::size_t m) {
   GDF_ASSERT(m <= trail_.size(), "rollback past trail head");
+  counters_.trail_pops += static_cast<long>(trail_.size() - m);
   while (trail_.size() > m) {
     const TrailEntry& e = trail_.back();
     sets_[e.node] = e.old_set;
@@ -100,6 +138,17 @@ void ImplicationEngine::rollback(std::size_t m) {
   conflict_ = false;
 }
 
+void ImplicationEngine::backtrack_level() {
+  GDF_ASSERT(!level_marks_.empty(), "backtrack_level without a level");
+  rollback(level_marks_.back());
+}
+
+void ImplicationEngine::pop_level() {
+  GDF_ASSERT(!level_marks_.empty(), "pop_level without a level");
+  rollback(level_marks_.back());
+  level_marks_.pop_back();
+}
+
 bool ImplicationEngine::narrow(NodeId n, VSet next) {
   const VSet current = sets_[n];
   next &= current;
@@ -107,41 +156,61 @@ bool ImplicationEngine::narrow(NodeId n, VSet next) {
     return true;
   }
   trail_.push_back({n, current});
+  ++counters_.trail_pushes;
   sets_[n] = next;
   if (next == kEmptySet) {
     conflict_ = true;
     return false;
   }
-  enqueue(n);
-  for (const NodeId reader : model_->fanout(n)) {
-    enqueue(reader);
-  }
+  mark_dirty(n);
   return true;
 }
 
-void ImplicationEngine::enqueue(NodeId n) {
-  if (in_queue_[n] == 0) {
-    in_queue_[n] = 1;
+void ImplicationEngine::add_pending(NodeId n, std::uint8_t bits) {
+  const std::uint8_t cur = pending_[n];
+  if ((cur | bits) == cur) {
+    return;
+  }
+  if (cur == 0) {
     queue_.push_back(n);
+  }
+  pending_[n] = static_cast<std::uint8_t>(cur | bits);
+}
+
+void ImplicationEngine::mark_dirty(NodeId n) {
+  // The rules whose operands just changed: n's own backward prune and
+  // register role (kSelf), and per reader the forward image plus the
+  // sibling's backward prune (kIn0/kIn1, precomputed per edge). The
+  // exhaustive debug schedule re-runs everything on every touched node
+  // instead.
+  const std::uint32_t lo = fo_begin_[n];
+  const std::uint32_t hi = fo_begin_[n + 1];
+  if (full_fixpoint_) {
+    add_pending(n, kAll);
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      add_pending(fo_pool_[e], kAll);
+    }
+    return;
+  }
+  add_pending(n, kSelf);
+  for (std::uint32_t e = lo; e < hi; ++e) {
+    add_pending(fo_pool_[e], fo_bits_[e]);
   }
 }
 
 alg::VSet ImplicationEngine::forward_raw(NodeId id) const {
-  const NodeId in0 = model_->in0s()[id];
-  switch (model_->kinds()[id]) {
+  const NodeId in0 = in0s_[id];
+  switch (kinds_[id]) {
     case NodeKind::Buf:
       return sets_[in0];
     case NodeKind::Not:
       return algebra_->set_not(sets_[in0]);
     case NodeKind::And2:
-      return algebra_->set_fwd(Op2::And, sets_[in0],
-                               sets_[model_->in1s()[id]]);
+      return algebra_->set_fwd(Op2::And, sets_[in0], sets_[in1s_[id]]);
     case NodeKind::Or2:
-      return algebra_->set_fwd(Op2::Or, sets_[in0],
-                               sets_[model_->in1s()[id]]);
+      return algebra_->set_fwd(Op2::Or, sets_[in0], sets_[in1s_[id]]);
     case NodeKind::Xor2:
-      return algebra_->set_fwd(Op2::Xor, sets_[in0],
-                               sets_[model_->in1s()[id]]);
+      return algebra_->set_fwd(Op2::Xor, sets_[in0], sets_[in1s_[id]]);
     case NodeKind::Pi:
     case NodeKind::Ppi:
       break;
@@ -161,31 +230,40 @@ bool ImplicationEngine::apply_register_pair(std::size_t dff_index) {
   return narrow(ppo, alg::vset_with_initial_in(sets_[ppo], allowed_inits));
 }
 
-bool ImplicationEngine::process(NodeId id) {
-  const NodeKind kind = model_->kinds()[id];
+bool ImplicationEngine::process(NodeId id, std::uint8_t pend) {
+  const NodeKind kind = kinds_[id];
   const bool is_site = id == fault_.site;
   if (kind != NodeKind::Pi && kind != NodeKind::Ppi) {
-    VSet raw = forward_raw(id);
-    if (is_site) {
-      raw = alg::DelayAlgebra::site_transform(raw, fault_.slow_to_rise);
-    }
-    if (!narrow(id, raw)) {
-      return false;
+    if ((pend & (kIn0 | kIn1)) != 0) {
+      VSet raw = forward_raw(id);
+      if (is_site) {
+        raw = alg::DelayAlgebra::site_transform(raw, fault_.slow_to_rise);
+      }
+      if (!narrow(id, raw)) {
+        return false;
+      }
+      // A forward narrowing re-marks this node kSelf; absorb it now so the
+      // backward prunes below run against the fresh output set instead of
+      // re-queuing the node.
+      pend |= pending_[id];
+      pending_[id] = 0;
     }
     VSet out_req = sets_[id];
     if (is_site) {
       out_req =
           alg::DelayAlgebra::site_transform_pre(out_req, fault_.slow_to_rise);
     }
-    const NodeId in0 = model_->in0s()[id];
+    const NodeId in0 = in0s_[id];
     switch (kind) {
       case NodeKind::Buf:
-        if (!narrow(in0, out_req)) {
+        // The unary backward prune depends on the output set alone.
+        if ((pend & kSelf) != 0 && !narrow(in0, out_req)) {
           return false;
         }
         break;
       case NodeKind::Not:
-        if (!narrow(in0, algebra_->set_not(out_req))) {
+        if ((pend & kSelf) != 0 &&
+            !narrow(in0, algebra_->set_not(out_req))) {
           return false;
         }
         break;
@@ -195,12 +273,16 @@ bool ImplicationEngine::process(NodeId id) {
         const Op2 op = kind == NodeKind::And2
                            ? Op2::And
                            : (kind == NodeKind::Or2 ? Op2::Or : Op2::Xor);
-        const NodeId in1 = model_->in1s()[id];
-        if (!narrow(in0, algebra_->set_bwd_first(op, sets_[in0],
+        const NodeId in1 = in1s_[id];
+        // in0's prune reads (in1, out); in1's reads (in0, out). Run each
+        // only when one of its operands changed.
+        if ((pend & (kSelf | kIn1)) != 0 &&
+            !narrow(in0, algebra_->set_bwd_first(op, sets_[in0],
                                                  sets_[in1], out_req))) {
           return false;
         }
-        if (!narrow(in1, algebra_->set_bwd_first(op, sets_[in1],
+        if ((pend & (kSelf | kIn0)) != 0 &&
+            !narrow(in1, algebra_->set_bwd_first(op, sets_[in1],
                                                  sets_[in0], out_req))) {
           return false;
         }
@@ -211,11 +293,11 @@ bool ImplicationEngine::process(NodeId id) {
         break;
     }
   }
-  const std::uint32_t role_lo = role_begin_[id];
-  const std::uint32_t role_hi = role_begin_[id + 1];
-  for (std::uint32_t r = role_lo; r < role_hi; ++r) {
-    if (!apply_register_pair(role_pool_[r])) {
-      return false;
+  if ((pend & kSelf) != 0) {
+    for (const std::uint32_t role : model_->register_roles(id)) {
+      if (!apply_register_pair(role)) {
+        return false;
+      }
     }
   }
   return true;
@@ -224,8 +306,9 @@ bool ImplicationEngine::process(NodeId id) {
 bool ImplicationEngine::propagate() {
   while (queue_head_ < queue_.size()) {
     const NodeId id = queue_[queue_head_++];
-    in_queue_[id] = 0;
-    if (!process(id)) {
+    const std::uint8_t pend = pending_[id];
+    pending_[id] = 0;
+    if (pend != 0 && !process(id, pend)) {
       clear_queue();
       return false;
     }

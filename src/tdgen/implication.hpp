@@ -5,8 +5,17 @@
 // (output ∩= image of input sets), backward implication (input ∩= members
 // with support), the fault-site transform, and the state-register
 // correlation (PPI.final = PPO.initial, the paper's register "truth
-// table"). All narrowing is recorded on a trail so the search can backtrack
-// in O(changes).
+// table"). All narrowing is recorded on a trail with decision-level marks,
+// so the search backtracks by popping deltas in O(changes).
+//
+// Scheduling is watched-fanin incremental: a narrowed node re-enqueues
+// only the implication rules whose operands actually changed (its readers'
+// forward images, the sibling-input backward prunes, its own backward
+// prune and register role) instead of fully reprocessing every touched
+// node. The implication rules are monotone narrowings, so any fair
+// scheduling converges to the same greatest fixpoint — the engine's
+// results are bit-identical to the exhaustive schedule, which is kept
+// behind the GDF_FULL_FIXPOINT=1 escape hatch as a debug reference.
 //
 // Invariant: each set over-approximates the values the line can take in
 // any real execution consistent with the constraints added so far. Forward
@@ -25,15 +34,41 @@
 
 namespace gdf::tdgen {
 
+/// Hot-path tallies of one engine's lifetime (merged into StageStats by
+/// the flow so --stages can attribute speedups).
+struct ImplCounters {
+  long assigns = 0;       ///< assign() calls (decisions + pins)
+  long trail_pushes = 0;  ///< set narrowings recorded on the trail
+  long trail_pops = 0;    ///< narrowings undone by rollback
+};
+
+/// True when GDF_FULL_FIXPOINT=1 asks for the exhaustive debug schedule.
+bool full_fixpoint_requested();
+
 class ImplicationEngine {
  public:
+  /// `full_fixpoint` selects the exhaustive reference schedule (defaults
+  /// to the GDF_FULL_FIXPOINT environment escape hatch).
   ImplicationEngine(const alg::AtpgModel& model,
-                    const alg::DelayAlgebra& algebra);
+                    const alg::DelayAlgebra& algebra,
+                    bool full_fixpoint = full_fixpoint_requested());
 
   /// Resets all sets for a fresh fault: primary domains at PI/PPI, carriers
   /// allowed only inside the fault cone, the site transform armed at the
-  /// fault site. Clears the trail.
+  /// fault site. Clears the trail and the decision levels. Keeps a
+  /// snapshot of the settled post-init state so sibling engines over the
+  /// same fault can seed from it (init_from) instead of re-running the
+  /// whole-circuit fixpoint.
   void init(const alg::FaultSpec& fault);
+
+  /// Seeds this engine with `donor`'s post-init snapshot — valid when the
+  /// donor ran init() (not init_from) over the same model and exactly
+  /// `fault`. Returns false (leaving this engine untouched) when the donor
+  /// cannot vouch for that, in which case the caller falls back to init().
+  /// The result is bit-identical to init(fault): the snapshot is a pure
+  /// function of (model, algebra, fault).
+  bool init_from(const ImplicationEngine& donor,
+                 const alg::FaultSpec& fault);
 
   /// Narrows node `n` to `allowed` and propagates to fixpoint.
   /// Returns false (and sets conflict()) if any set becomes empty.
@@ -42,10 +77,36 @@ class ImplicationEngine {
   alg::VSet get(alg::NodeId n) const { return sets_[n]; }
   bool conflict() const { return conflict_; }
 
-  /// Trail position for later rollback.
+  // Decision levels — the search's push/pop protocol. push_level() opens a
+  // level at the current trail position; backtrack_level() undoes every
+  // narrowing of the current level but keeps it open (try the complement);
+  // pop_level() undoes and closes it.
+  void push_level() { level_marks_.push_back(trail_.size()); }
+  void backtrack_level();
+  void pop_level();
+  std::size_t depth() const { return level_marks_.size(); }
+
+  /// Trail position for later rollback (level-free protocol).
   std::size_t mark() const { return trail_.size(); }
   /// Restores every set changed after `m` and clears the conflict flag.
   void rollback(std::size_t m);
+
+  /// True when a node on the fault site's dominator chain — a node every
+  /// path from the site to every observation point passes through — has
+  /// lost all carrier members. At fixpoint the carrier chain backing any
+  /// observed carrier runs through every chain node, so a blocked chain
+  /// proves no observation point can see the fault. Sound only at
+  /// fixpoint, i.e. after a successful assign()/init().
+  bool carrier_path_blocked() const {
+    for (const alg::NodeId d : site_chain_) {
+      if ((sets_[d] & alg::kCarrierSet) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const ImplCounters& counters() const { return counters_; }
 
   const alg::AtpgModel& model() const { return *model_; }
   const alg::DelayAlgebra& algebra() const { return *algebra_; }
@@ -57,9 +118,19 @@ class ImplicationEngine {
     alg::VSet old_set;
   };
 
+  /// Pending-rule bits per node: which operands changed since the node was
+  /// last processed. kIn0/kIn1 re-run the forward image and the sibling
+  /// backward prune; kSelf re-runs the backward prunes of both inputs and
+  /// the register role.
+  static constexpr std::uint8_t kIn0 = 1;
+  static constexpr std::uint8_t kIn1 = 2;
+  static constexpr std::uint8_t kSelf = 4;
+  static constexpr std::uint8_t kAll = kIn0 | kIn1 | kSelf;
+
   bool narrow(alg::NodeId n, alg::VSet next);
-  void enqueue(alg::NodeId n);
-  bool process(alg::NodeId n);
+  void mark_dirty(alg::NodeId n);
+  void add_pending(alg::NodeId n, std::uint8_t bits);
+  bool process(alg::NodeId n, std::uint8_t pend);
   bool propagate();
   alg::VSet forward_raw(alg::NodeId id) const;
   bool apply_register_pair(std::size_t dff_index);
@@ -67,21 +138,35 @@ class ImplicationEngine {
 
   const alg::AtpgModel* model_;
   const alg::DelayAlgebra* algebra_;
+  // Raw SoA views of the model, cached at construction — the fixpoint's
+  // inner loops run hundreds of millions of iterations, so even the span
+  // indirection shows up.
+  const alg::NodeKind* kinds_;
+  const alg::NodeId* in0s_;
+  const alg::NodeId* in1s_;
+  const std::uint32_t* fo_begin_;
+  const alg::NodeId* fo_pool_;
+  const std::uint8_t* fo_bits_;
   alg::FaultSpec fault_;
   std::vector<alg::VSet> sets_;
+  /// Post-init() snapshot (sets + conflict flag) for init_from donors.
+  std::vector<alg::VSet> init_sets_;
+  bool init_conflict_ = false;
+  bool init_ready_ = false;
   std::vector<TrailEntry> trail_;
+  std::vector<std::size_t> level_marks_;
   /// FIFO as a vector plus head cursor (cheaper than std::deque at the
-  /// hundreds of millions of pushes an ATPG run performs).
+  /// hundreds of millions of pushes an ATPG run performs). A node is
+  /// queued when its pending mask becomes non-zero; entries whose mask was
+  /// already consumed pop as stale no-ops.
   std::vector<alg::NodeId> queue_;
   std::size_t queue_head_ = 0;
-  std::vector<std::uint8_t> in_queue_;
+  std::vector<std::uint8_t> pending_;
+  /// The fault site's dominator chain toward the observation sinks.
+  std::vector<alg::NodeId> site_chain_;
   bool conflict_ = false;
-
-  /// dff indices for which a node is the PPI / PPO partner (a PPO node can
-  /// serve several flip-flops when fanout is not expanded), as a CSR so the
-  /// common no-role case is a two-load check.
-  std::vector<std::uint32_t> role_begin_;
-  std::vector<std::uint32_t> role_pool_;
+  bool full_fixpoint_ = false;
+  ImplCounters counters_;
 };
 
 }  // namespace gdf::tdgen

@@ -25,14 +25,32 @@ TdgenSearch::TdgenSearch(const alg::AtpgModel& model,
   GDF_ASSERT(fault.line < model.netlist().size(), "fault line out of range");
   spec_.site = model.head_of(fault.line);
   spec_.slow_to_rise = fault.slow_to_rise;
-  cone_ = model.carrier_cone(spec_.site);
-  // Deterministic frontier scans in observation-distance order.
-  std::sort(cone_.begin(), cone_.end(), [&model](NodeId a, NodeId b) {
-    if (model.obs_distance(a) != model.obs_distance(b)) {
-      return model.obs_distance(a) < model.obs_distance(b);
-    }
-    return a < b;
-  });
+  if (options_.shared_cone != nullptr) {
+    // A re-entry over the same fault line reuses the first search's cone.
+    cone_ = options_.shared_cone;
+  } else {
+    cone_storage_ = model.carrier_cone(spec_.site);
+    // Deterministic frontier scans in observation-distance order.
+    std::sort(cone_storage_.begin(), cone_storage_.end(),
+              [&model](NodeId a, NodeId b) {
+                if (model.obs_distance(a) != model.obs_distance(b)) {
+                  return model.obs_distance(a) < model.obs_distance(b);
+                }
+                return a < b;
+              });
+    cone_ = &cone_storage_;
+  }
+}
+
+TdgenSearch::~TdgenSearch() {
+  if (options_.tally == nullptr) {
+    return;
+  }
+  SearchCounters tally = probe_counters_;
+  tally.implication_assigns = engine_.counters().assigns;
+  tally.trail_pushes = engine_.counters().trail_pushes;
+  tally.trail_pops = engine_.counters().trail_pops;
+  options_.tally->add(tally);
 }
 
 void TdgenSearch::pin_ppo(std::size_t dff_index, VSet allowed) {
@@ -46,7 +64,10 @@ void TdgenSearch::require_observation(NodeId obs_node) {
 }
 
 bool TdgenSearch::start() {
-  engine_.init(spec_);
+  if (options_.init_donor == nullptr ||
+      !engine_.init_from(*options_.init_donor, spec_)) {
+    engine_.init(spec_);
+  }
   if (engine_.conflict()) {
     return false;
   }
@@ -70,6 +91,14 @@ bool TdgenSearch::start() {
 }
 
 bool TdgenSearch::carrier_possible_at_observation() const {
+  // Dominator cutoff first: a carrier-free node on the site's dominator
+  // chain proves (at fixpoint — which holds whenever the search consults
+  // this) that no observation point can hold a carrier, so the scan below
+  // could only agree. The chain is short, and in abort-heavy searches the
+  // blocked case is the common one.
+  if (engine_.carrier_path_blocked()) {
+    return false;
+  }
   if (required_obs_.has_value()) {
     return (engine_.get(*required_obs_) & kCarrierSet) != 0;
   }
@@ -133,33 +162,62 @@ bool TdgenSearch::check_stimulus(const std::vector<VSet>& pi_sets,
         alg::vset_with_initial_in(alg::kPrimaryDomain, inits));
   }
 
-  // One full base pass, then the register fixpoint iterates incrementally:
-  // each round prunes a handful of PPI sets, so only their cones are
-  // re-settled instead of re-running the whole model.
+  // Cone-scoped probe: probe_base_ keeps the previous probe's settled
+  // pre-fixpoint state, so each probe replays only the cones of the
+  // sources that differ from it — rerun_sources is exactly equivalent to
+  // a fresh full pass, which is what the first probe (and only it) runs.
+  ++probe_counters_.probe_runs;
   std::vector<std::pair<NodeId, VSet>> diffs;
-  std::vector<VSet> sim_sets;
-  sim_.run(stimulus, &spec_, sim_sets);
-  for (;;) {
-    if (!diffs.empty()) {
-      sim_.rerun_sources(diffs, &spec_, sim_sets);
+  diffs.reserve(model_->pis().size() + model_->ppis().size());
+  const auto all_sources = [&](std::vector<std::pair<NodeId, VSet>>* out_d) {
+    out_d->clear();
+    for (std::size_t i = 0; i < model_->pis().size(); ++i) {
+      out_d->emplace_back(model_->pis()[i], stimulus.pi_sets[i]);
     }
-    diffs.clear();
     for (std::size_t k = 0; k < model_->ppis().size(); ++k) {
-      const VSet ppo = sim_sets[model_->ppo_node(k)];
+      out_d->emplace_back(model_->ppis()[k], stimulus.ppi_sets[k]);
+    }
+  };
+  if (!probe_ready_) {
+    sim_.run(stimulus, &spec_, probe_base_);
+    probe_sets_ = probe_base_;
+    probe_ready_ = true;
+    ++probe_counters_.probe_full;
+  } else {
+    all_sources(&diffs);
+    sim_.rerun_sources(diffs, &spec_, probe_base_);
+    ++probe_counters_.probe_cone;
+  }
+
+  // The register fixpoint: round n prunes each PPI's finals against the
+  // PPO initials of run(S_n), exactly the reference iteration — but both
+  // states evolve incrementally. Round 1 reads the base; as soon as a
+  // prune applies, the pruned source vector is resettled onto the
+  // *persistent* post-fixpoint cache (probe_sets_), whose sources carry
+  // the previous probe's pruned values and therefore barely differ.
+  const std::vector<VSet>* sim_view = &probe_base_;
+  for (;;) {
+    bool pruned_any = false;
+    for (std::size_t k = 0; k < model_->ppis().size(); ++k) {
+      const VSet ppo = (*sim_view)[model_->ppo_node(k)];
       const VSet pruned = alg::vset_with_final_in(stimulus.ppi_sets[k],
                                                   alg::vset_initials(ppo));
       if (pruned != stimulus.ppi_sets[k]) {
         stimulus.ppi_sets[k] = pruned;
-        diffs.emplace_back(model_->ppis()[k], pruned);
+        pruned_any = true;
       }
       if (pruned == kEmptySet) {
         return fail();  // no register-consistent execution
       }
     }
-    if (diffs.empty()) {
+    if (!pruned_any) {
       break;
     }
+    all_sources(&diffs);
+    sim_.rerun_sources(diffs, &spec_, probe_sets_);
+    sim_view = &probe_sets_;
   }
+  const std::vector<VSet>& sim_sets = *sim_view;
 
   // Pins must hold for every completion of the unassigned inputs, i.e. in
   // the forward simulation sets, not merely in the engine's constraint
@@ -188,7 +246,7 @@ bool TdgenSearch::check_stimulus(const std::vector<VSet>& pi_sets,
   }
   if (out != nullptr) {
     out->stimulus = std::move(stimulus);
-    out->sim_sets = std::move(sim_sets);
+    out->sim_sets = sim_sets;  // the cache stays live for the next probe
     out->observed = std::move(observed);
   }
   return true;
@@ -310,8 +368,8 @@ bool TdgenSearch::push_decision(NodeId node, VSet try_set) {
   GDF_ASSERT(try_set != kEmptySet && try_set != current,
              "decision must strictly split a set");
   ++decisions_;
-  stack_.push_back({engine_.mark(), node,
-                    static_cast<VSet>(current & ~try_set)});
+  engine_.push_level();
+  stack_.push_back({node, static_cast<VSet>(current & ~try_set)});
   engine_.assign(node, try_set);
   return true;
 }
@@ -320,7 +378,7 @@ bool TdgenSearch::choose_decision() {
   // 1. Extend the fault-effect path: a node that could still become a
   // carrier, is not one yet, and has a definite-carrier input. The cone is
   // pre-sorted nearest-observation-first.
-  for (const NodeId id : cone_) {
+  for (const NodeId id : *cone_) {
     const VSet s = engine_.get(id);
     if ((s & kCarrierSet) == 0 || (s & ~kCarrierSet) == 0) {
       continue;
@@ -364,13 +422,14 @@ bool TdgenSearch::backtrack() {
   }
   while (!stack_.empty()) {
     Decision& d = stack_.back();
-    engine_.rollback(d.mark);
+    engine_.backtrack_level();
     if (d.rest != kEmptySet) {
       const VSet rest = d.rest;
       d.rest = kEmptySet;
       engine_.assign(d.node, rest);
       return true;
     }
+    engine_.pop_level();
     stack_.pop_back();
   }
   return false;

@@ -28,9 +28,42 @@
 
 namespace gdf::tdgen {
 
+/// Aggregated search-core tallies of one or more TdgenSearch lifetimes —
+/// what the flow folds into StageStats so --stages can attribute the
+/// incremental engine's work (see TdgenOptions::tally).
+struct SearchCounters {
+  long implication_assigns = 0;
+  long trail_pushes = 0;
+  long trail_pops = 0;
+  long probe_runs = 0;  ///< verification probes executed (not memo-skipped)
+  long probe_cone = 0;  ///< … settled incrementally from the cached state
+  long probe_full = 0;  ///< … requiring a full two-frame pass
+
+  void add(const SearchCounters& other) {
+    implication_assigns += other.implication_assigns;
+    trail_pushes += other.trail_pushes;
+    trail_pops += other.trail_pops;
+    probe_runs += other.probe_runs;
+    probe_cone += other.probe_cone;
+    probe_full += other.probe_full;
+  }
+};
+
 struct TdgenOptions {
   int backtrack_limit = 100;     ///< paper §6
   long decision_limit = 200000;  ///< safety net against pathological cases
+  /// When set, the search adds its counters here on destruction.
+  SearchCounters* tally = nullptr;
+  /// Optional pre-sorted observation-distance cone for the fault site
+  /// (TdgenSearch::sorted_cone() of an earlier search over the same model
+  /// and fault line). Re-entries reuse the first search's cone instead of
+  /// re-deriving and re-sorting it.
+  const std::vector<alg::NodeId>* shared_cone = nullptr;
+  /// Optional donor engine whose post-init snapshot seeds this search's
+  /// engine (see ImplicationEngine::init_from) — a started search over the
+  /// same model and fault. Re-entries skip the whole-circuit init fixpoint
+  /// this way; an incompatible donor silently falls back to init().
+  const ImplicationEngine* init_donor = nullptr;
 };
 
 enum class TdgenStatus {
@@ -45,6 +78,18 @@ class TdgenSearch {
   /// netlist so branch faults are addressable).
   TdgenSearch(const alg::AtpgModel& model, const alg::DelayAlgebra& algebra,
               DelayFault fault, TdgenOptions options = {});
+  ~TdgenSearch();
+
+  TdgenSearch(const TdgenSearch&) = delete;
+  TdgenSearch& operator=(const TdgenSearch&) = delete;
+
+  /// The fault site's carrier cone sorted nearest-observation-first — pass
+  /// as TdgenOptions::shared_cone to a re-entry over the same fault line.
+  const std::vector<alg::NodeId>& sorted_cone() const { return *cone_; }
+
+  /// This search's engine — pass as TdgenOptions::init_donor to a re-entry
+  /// over the same fault so it can seed from the post-init snapshot.
+  const ImplicationEngine& engine() const { return engine_; }
 
   /// Constrains a PPO line to `allowed` (e.g. steady clean {1} during
   /// propagation justification re-entry). Call before the first next().
@@ -62,7 +107,6 @@ class TdgenSearch {
 
  private:
   struct Decision {
-    std::size_t mark;
     alg::NodeId node;
     alg::VSet rest;
   };
@@ -97,7 +141,8 @@ class TdgenSearch {
   alg::FaultSpec spec_;
   ImplicationEngine engine_;
   alg::TwoFrameSim sim_;
-  std::vector<alg::NodeId> cone_;
+  std::vector<alg::NodeId> cone_storage_;
+  const std::vector<alg::NodeId>* cone_;
   std::vector<PpoPin> pins_;
   std::optional<alg::NodeId> required_obs_;
   std::vector<Decision> stack_;
@@ -113,6 +158,18 @@ class TdgenSearch {
   /// check_stimulus inputs that already failed (the check is deterministic,
   /// so they fail forever) — mostly hit by the don't-care lifting probes.
   mutable std::unordered_set<std::string> failed_checks_;
+  /// The cone-scoped probe cache. probe_base_ holds node sets settled
+  /// under the last probe's *raw* sources (pre register-fixpoint): a new
+  /// probe hands its full source vector to rerun_sources, which replays
+  /// only the cones of the sources that actually differ — for the
+  /// don't-care lifting probes that is a single source. The register
+  /// fixpoint then prunes on a copy (probe_sets_) so the base never
+  /// churns through prune/unprune cycles. Exactly equivalent to a fresh
+  /// full pass per probe.
+  mutable std::vector<alg::VSet> probe_base_;
+  mutable std::vector<alg::VSet> probe_sets_;
+  mutable bool probe_ready_ = false;
+  mutable SearchCounters probe_counters_;
   bool started_ = false;
   bool aborted_ = false;
   int backtracks_ = 0;

@@ -98,33 +98,14 @@ std::vector<bool> Tdsim::detect_cpt(
   // Polarity-aware marks: mark_rc[n] (mark_fc[n]) is true when replacing
   // n's value by {Rc} ({Fc}) guarantees a carrier-only value at some PO.
   // Composed backward through single-reader chains; fanout stems fall back
-  // to exact cone re-simulation — the classic CPT stem correction.
+  // to exact cone re-simulation — the classic CPT stem correction, made
+  // dominator-aware: a stem's sweep is truncated at its immediate
+  // dominator toward the observation sinks (every PO path passes it, so
+  // the value arriving there together with the dominator's own marks
+  // decides the stem — see the ForcedLane::stop contract) and stems that
+  // cannot reach a PO at all skip their sweep outright.
   const std::size_t n_nodes = model_->node_count();
   std::vector<bool> mark_rc(n_nodes, false), mark_fc(n_nodes, false);
-
-  // Stem corrections first: each stem needs both polarities, and four
-  // stems (eight scenarios) share one packed cone sweep over the
-  // fault-free baseline instead of eight full re-simulations.
-  std::vector<NodeId> stems;
-  for (NodeId id = 0; id < n_nodes; ++id) {
-    if (!model_->node(id).is_po && model_->fanout(id).size() > 1) {
-      stems.push_back(id);
-    }
-  }
-  std::vector<alg::TwoFrameSim::ForcedLane> lanes;
-  for (std::size_t group = 0; group < stems.size(); group += 4) {
-    const std::size_t n_group = std::min<std::size_t>(4, stems.size() - group);
-    lanes.clear();
-    for (std::size_t i = 0; i < n_group; ++i) {
-      lanes.push_back({stems[group + i], alg::vset_of(V8::RiseC)});
-      lanes.push_back({stems[group + i], alg::vset_of(V8::FallC)});
-    }
-    const unsigned mask = sim_.forced_po_carrier_mask(fault_free, lanes);
-    for (std::size_t i = 0; i < n_group; ++i) {
-      mark_rc[stems[group + i]] = (mask >> (2 * i) & 1u) != 0;
-      mark_fc[stems[group + i]] = (mask >> (2 * i + 1) & 1u) != 0;
-    }
-  }
 
   const auto compose = [&](NodeId n, V8 polarity) -> bool {
     const std::span<const NodeId> readers = model_->fanout(n);
@@ -163,8 +144,65 @@ std::vector<bool> Tdsim::detect_cpt(
     return alg::vset_contains(out, V8::RiseC) ? mark_rc[r] : mark_fc[r];
   };
 
-  // Backward composition through single-reader chains; POs observe in
-  // place, stems were corrected above.
+  // A stem's truncated lane resolves from the value its wave leaves at the
+  // dominator: a surviving non-carrier member kills the mark (non-carrier
+  // members propagate to every downstream set), a single-polarity carrier
+  // composes with the dominator's mark, and the rare mixed carrier is
+  // decided exactly by one untruncated single-lane sweep from the
+  // dominator.
+  const auto resolve_stop = [&](VSet at_dom, NodeId dom) -> bool {
+    if (at_dom == kEmptySet || (at_dom & ~kCarrierSet) != 0) {
+      return false;
+    }
+    const bool has_rc = alg::vset_contains(at_dom, V8::RiseC);
+    const bool has_fc = alg::vset_contains(at_dom, V8::FallC);
+    if (has_rc && has_fc) {
+      const alg::TwoFrameSim::ForcedLane lane{dom, at_dom, alg::kNoNode};
+      return (sim_.forced_sweep(fault_free, {&lane, 1}, {}) & 1u) != 0;
+    }
+    return has_rc ? mark_rc[dom] : mark_fc[dom];
+  };
+
+  // One descending pass interleaves the chain composition with the stem
+  // corrections: both only ever read marks of higher-id nodes. Stems batch
+  // into one packed sweep (two polarities each, four stems per sweep);
+  // a batch flushes early whenever a mark it would feed is needed.
+  struct PendingStem {
+    NodeId stem;
+    NodeId dom;
+  };
+  std::vector<PendingStem> pending;
+  std::vector<alg::TwoFrameSim::ForcedLane> lanes;
+  std::vector<VSet> stop_values;
+  std::vector<bool> stem_pending(n_nodes, false);
+  const auto flush = [&]() {
+    if (pending.empty()) {
+      return;
+    }
+    lanes.clear();
+    for (const PendingStem& p : pending) {
+      lanes.push_back({p.stem, alg::vset_of(V8::RiseC), p.dom});
+      lanes.push_back({p.stem, alg::vset_of(V8::FallC), p.dom});
+    }
+    stop_values.assign(lanes.size(), kEmptySet);
+    const unsigned mask = sim_.forced_sweep(fault_free, lanes, stop_values);
+    // Fill order is descending, so a dominator that is itself a pending
+    // stem (always of higher id, hence added earlier) resolves before any
+    // stem it dominates reads its marks.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const PendingStem& p = pending[i];
+      if (p.dom == alg::kNoNode) {
+        mark_rc[p.stem] = (mask >> (2 * i) & 1u) != 0;
+        mark_fc[p.stem] = (mask >> (2 * i + 1) & 1u) != 0;
+      } else {
+        mark_rc[p.stem] = resolve_stop(stop_values[2 * i], p.dom);
+        mark_fc[p.stem] = resolve_stop(stop_values[2 * i + 1], p.dom);
+      }
+      stem_pending[p.stem] = false;
+    }
+    pending.clear();
+  };
+
   for (NodeId id = static_cast<NodeId>(n_nodes); id-- > 0;) {
     if (model_->node(id).is_po) {
       mark_rc[id] = true;
@@ -172,12 +210,30 @@ std::vector<bool> Tdsim::detect_cpt(
       continue;
     }
     const std::span<const NodeId> readers = model_->fanout(id);
-    if (readers.empty() || readers.size() > 1) {
-      continue;  // dead end stays false; stem marks are already set
+    if (readers.empty()) {
+      continue;  // dead end stays false
+    }
+    if (readers.size() > 1) {
+      if (!model_->po_reachable(id)) {
+        continue;  // the sweep could only come back empty
+      }
+      // A dominator that is itself pending needs no early flush: fill
+      // order is descending, so flush() resolves it before the stems it
+      // dominates.
+      pending.push_back({id, model_->idom(id)});
+      stem_pending[id] = true;
+      if (pending.size() == 4) {
+        flush();
+      }
+      continue;
+    }
+    if (stem_pending[readers[0]]) {
+      flush();
     }
     mark_rc[id] = compose(id, V8::RiseC);
     mark_fc[id] = compose(id, V8::FallC);
   }
+  flush();
 
   std::vector<bool> detected(faults.size(), false);
   for (std::size_t i = 0; i < faults.size(); ++i) {

@@ -1,0 +1,48 @@
+# End-to-end equivalence of the incremental trail-based implication engine
+# against the exhaustive full-fixpoint debug schedule (GDF_FULL_FIXPOINT=1
+# escape hatch): the sweep's CSV bytes must be identical. Registered by
+# tests/CMakeLists.txt as two ctests:
+#   * cli_fixpoint_determinism       — SCOPE=full: a mixed multi-circuit
+#     sweep at the paper configuration.
+#   * cli_fixpoint_determinism_small — SCOPE=small: cheap enough for the
+#     ThreadSanitizer CI job.
+#
+# Usage: cmake -DGDF_ATPG=<path> -DSCOPE=<full|small> -P
+#        check_fixpoint_determinism.cmake
+
+if(SCOPE STREQUAL "small")
+  set(sweep_args --circuit s27 --circuit s298 --csv --no-seconds --jobs 2)
+else()
+  set(sweep_args --circuit s298 --circuit s344 --circuit s386
+      --circuit s420 --csv --no-seconds)
+endif()
+
+execute_process(
+  COMMAND ${GDF_ATPG} ${sweep_args}
+  OUTPUT_VARIABLE incremental_out
+  RESULT_VARIABLE incremental_rc)
+if(NOT incremental_rc EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg (incremental) failed (rc=${incremental_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env GDF_FULL_FIXPOINT=1
+          ${GDF_ATPG} ${sweep_args}
+  OUTPUT_VARIABLE full_out
+  RESULT_VARIABLE full_rc)
+if(NOT full_rc EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg (GDF_FULL_FIXPOINT=1) failed (rc=${full_rc})")
+endif()
+
+if(NOT incremental_out STREQUAL full_out)
+  message(FATAL_ERROR "incremental and full-fixpoint output differs:\n"
+                      "=== incremental ===\n${incremental_out}\n"
+                      "=== full fixpoint ===\n${full_out}")
+endif()
+
+string(LENGTH "${incremental_out}" out_len)
+if(out_len EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg produced no output")
+endif()
+message(STATUS
+  "incremental and full-fixpoint output byte-identical (${out_len} bytes)")

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "algebra/frame_sim.hpp"
+#include "base/rng.hpp"
 #include "circuits/embedded.hpp"
 
 namespace gdf::alg {
@@ -109,6 +110,84 @@ TEST_F(C17FrameSim, NonRobustStimulusFailsRobustCheck) {
   EXPECT_EQ(static_cast<VSet>(sets[model_.head_of(nl_.find("N16"))] &
                               kCarrierSet),
             kEmptySet);
+}
+
+TEST_F(C17FrameSim, RerunSourcesMatchesFreshRunUnderRandomFlips) {
+  // The cone-scoped resettle must stay exactly equivalent to a fresh full
+  // pass across an arbitrary sequence of source perturbations — the
+  // guarantee the cached verification probes in TDgen rest on.
+  const FaultSpec fault{model_.head_of(nl_.find("N11")), true};
+  TwoFrameStimulus s = robust_stimulus();
+  std::vector<VSet> incremental;
+  sim_.run(s, &fault, incremental);
+  Rng rng(42);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<std::pair<NodeId, VSet>> diffs;
+    const std::size_t n_changes = 1 + rng.next_below(3);
+    for (std::size_t c = 0; c < n_changes; ++c) {
+      const std::size_t i = rng.next_below(s.pi_sets.size());
+      s.pi_sets[i] = static_cast<VSet>(
+          rng.next_in(1, 255) & kPrimaryDomain);
+      if (s.pi_sets[i] == kEmptySet) {
+        s.pi_sets[i] = kPrimaryDomain;
+      }
+      diffs.emplace_back(model_.pis()[i], s.pi_sets[i]);
+    }
+    sim_.rerun_sources(diffs, &fault, incremental);
+    std::vector<VSet> fresh;
+    sim_.run(s, &fault, fresh);
+    ASSERT_EQ(incremental, fresh) << "step " << step;
+  }
+}
+
+TEST_F(C17FrameSim, ForcedSweepStopReportsConeValue) {
+  // A truncated lane must report exactly the value a full forced replay
+  // leaves at the stop node, and never touch POs.
+  std::vector<VSet> baseline;
+  sim_.run(robust_stimulus(), nullptr, baseline);
+  const NodeId stem = model_.head_of(nl_.find("N11"));
+  for (const NodeId stop :
+       {model_.head_of(nl_.find("N16")), model_.head_of(nl_.find("N19")),
+        model_.head_of(nl_.find("N22"))}) {
+    for (const V8 pol : {V8::RiseC, V8::FallC}) {
+      std::vector<VSet> reference;
+      sim_.run_forced(robust_stimulus(), stem, vset_of(pol), reference);
+      const TwoFrameSim::ForcedLane lane{stem, vset_of(pol), stop};
+      VSet stop_value = kEmptySet;
+      const unsigned mask =
+          sim_.forced_sweep(baseline, {&lane, 1}, {&stop_value, 1});
+      EXPECT_EQ(stop_value, reference[stop]);
+      EXPECT_EQ(mask, 0u);  // truncated lanes never report a PO verdict
+    }
+  }
+}
+
+TEST_F(C17FrameSim, ForcedSweepMaskMatchesRunForced) {
+  std::vector<VSet> baseline;
+  sim_.run(robust_stimulus(), nullptr, baseline);
+  std::vector<TwoFrameSim::ForcedLane> lanes;
+  for (const char* name : {"N11", "N10", "N16", "N19"}) {
+    lanes.push_back({model_.head_of(nl_.find(name)), vset_of(V8::RiseC),
+                     kNoNode});
+    lanes.push_back({model_.head_of(nl_.find(name)), vset_of(V8::FallC),
+                     kNoNode});
+  }
+  const unsigned mask = sim_.forced_po_carrier_mask(baseline, lanes);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    std::vector<VSet> forced;
+    sim_.run_forced(robust_stimulus(), lanes[i].node, lanes[i].set, forced);
+    bool po_carrier = false;
+    for (const NodeId obs : model_.observation_points()) {
+      if (!model_.node(obs).is_po) {
+        continue;
+      }
+      const VSet s = forced[obs];
+      if (s != kEmptySet && (s & ~kCarrierSet) == 0) {
+        po_carrier = true;
+      }
+    }
+    EXPECT_EQ((mask >> i & 1u) != 0, po_carrier) << "lane " << i;
+  }
 }
 
 TEST_F(C17FrameSim, StimulusSizeMismatchIsFatal) {

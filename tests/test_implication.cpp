@@ -2,6 +2,7 @@
 // TDgen search correctness rests on.
 #include <gtest/gtest.h>
 
+#include "base/rng.hpp"
 #include "circuits/embedded.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/fanout.hpp"
@@ -146,6 +147,153 @@ TEST(RegisterConstraint, ToggleFlopSteadySubsetIsAbstractionLimit) {
     EXPECT_FALSE(engine.assign(model.ppis()[0], alg::vset_of(steady)))
         << v8_name(steady);
     EXPECT_TRUE(engine.conflict());
+  }
+}
+
+TEST_F(C17Engine, DecisionLevelRoundTrip) {
+  std::vector<VSet> before(model_.node_count());
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    before[id] = engine_.get(id);
+  }
+  engine_.push_level();
+  EXPECT_EQ(engine_.depth(), 1u);
+  ASSERT_TRUE(engine_.assign(fault_.site, alg::vset_of(V8::RiseC)));
+  engine_.push_level();
+  ASSERT_TRUE(engine_.assign(model_.pis()[0], alg::vset_of(V8::Zero)));
+  std::vector<VSet> at_level1(model_.node_count());
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    at_level1[id] = engine_.get(id);
+  }
+  // backtrack_level undoes the level's deltas but keeps it open.
+  engine_.backtrack_level();
+  EXPECT_EQ(engine_.depth(), 2u);
+  ASSERT_TRUE(engine_.assign(model_.pis()[0], alg::vset_of(V8::Zero)));
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    EXPECT_EQ(engine_.get(id), at_level1[id]) << "node " << id;
+  }
+  engine_.pop_level();
+  engine_.pop_level();
+  EXPECT_EQ(engine_.depth(), 0u);
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    EXPECT_EQ(engine_.get(id), before[id]) << "node " << id;
+  }
+}
+
+TEST_F(C17Engine, CountersTrackTrail) {
+  const long pushes0 = engine_.counters().trail_pushes;
+  engine_.push_level();
+  ASSERT_TRUE(engine_.assign(fault_.site, alg::vset_of(V8::RiseC)));
+  const long delta = engine_.counters().trail_pushes - pushes0;
+  EXPECT_GT(delta, 0);
+  const long pops0 = engine_.counters().trail_pops;
+  engine_.pop_level();
+  EXPECT_EQ(engine_.counters().trail_pops - pops0, delta);
+  EXPECT_GE(engine_.counters().assigns, 1);
+}
+
+/// The watched-fanin incremental schedule and the exhaustive
+/// GDF_FULL_FIXPOINT reference must agree on every set after every
+/// operation of a randomized decision/backtrack script — on hand-built
+/// reconvergent cones and on c17.
+TEST(WatchedFanin, MatchesFullFixpointUnderRandomScript) {
+  std::vector<net::Netlist> circuits;
+  circuits.push_back(net::expand_fanout_branches(circuits::make_c17()));
+  {
+    // Reconvergent diamond with a register loop — exercises sibling
+    // backward prunes and the register-pair rule.
+    net::NetlistBuilder b("diamond_ff");
+    b.input("a");
+    b.input("c");
+    b.output("y");
+    b.dff("q", "d");
+    b.gate("s", net::GateType::Nand, {"a", "q"});
+    b.gate("p", net::GateType::Not, {"s"});
+    b.gate("r", net::GateType::Xor, {"s", "c"});
+    b.gate("d", net::GateType::Or, {"p", "r"});
+    b.gate("y", net::GateType::And, {"d", "q"});
+    const net::Netlist nl = b.build();
+    circuits.push_back(net::expand_fanout_branches(nl));
+  }
+  for (const net::Netlist& nl : circuits) {
+    const AtpgModel model(nl);
+    for (NodeId site = 0; site < model.node_count(); site += 3) {
+      ImplicationEngine watched(model, robust_algebra(), false);
+      ImplicationEngine full(model, robust_algebra(), true);
+      const alg::FaultSpec spec{site, (site & 1u) == 0};
+      watched.init(spec);
+      full.init(spec);
+      Rng rng(1995 + site);
+      const auto expect_equal = [&](const char* what) {
+        ASSERT_EQ(watched.conflict(), full.conflict()) << what;
+        if (!watched.conflict()) {
+          for (NodeId id = 0; id < model.node_count(); ++id) {
+            ASSERT_EQ(watched.get(id), full.get(id))
+                << what << " node " << id;
+          }
+        }
+      };
+      expect_equal("init");
+      for (int step = 0; step < 40; ++step) {
+        const NodeId n =
+            static_cast<NodeId>(rng.next_in(0, model.node_count() - 1));
+        const VSet allowed = static_cast<VSet>(rng.next_in(1, 255));
+        if (rng.next_in(0, 4) == 0 && watched.depth() > 0) {
+          watched.pop_level();
+          full.pop_level();
+        } else {
+          watched.push_level();
+          full.push_level();
+          const bool ok_w = watched.assign(n, allowed);
+          const bool ok_f = full.assign(n, allowed);
+          ASSERT_EQ(ok_w, ok_f) << "assign step " << step;
+          if (!ok_w) {
+            watched.backtrack_level();
+            full.backtrack_level();
+            watched.pop_level();
+            full.pop_level();
+          }
+        }
+        expect_equal("step");
+      }
+    }
+  }
+}
+
+TEST_F(C17Engine, InitFromDonorMatchesFreshInit) {
+  ASSERT_TRUE(engine_.assign(fault_.site, alg::vset_of(V8::RiseC)));
+  // Seed a sibling from the (now mid-search) donor's init snapshot.
+  ImplicationEngine seeded(model_, robust_algebra());
+  ASSERT_TRUE(seeded.init_from(engine_, fault_));
+  ImplicationEngine fresh(model_, robust_algebra());
+  fresh.init(fault_);
+  for (NodeId id = 0; id < model_.node_count(); ++id) {
+    EXPECT_EQ(seeded.get(id), fresh.get(id)) << "node " << id;
+  }
+  // A donor over a different fault refuses.
+  const alg::FaultSpec other{fault_.site, !fault_.slow_to_rise};
+  ImplicationEngine refused(model_, robust_algebra());
+  EXPECT_FALSE(refused.init_from(engine_, other));
+}
+
+TEST_F(C17Engine, CarrierPathBlockedIsSoundAtFixpoint) {
+  // Whenever the dominator-chain cutoff fires, no observation point may
+  // still admit a carrier — the equivalence the search's pruning rests on.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    ImplicationEngine engine(model_, robust_algebra());
+    engine.init(fault_);
+    for (int step = 0; step < 6 && !engine.conflict(); ++step) {
+      const NodeId n =
+          static_cast<NodeId>(rng.next_in(0, model_.node_count() - 1));
+      if (!engine.assign(n, static_cast<VSet>(rng.next_in(1, 255)))) {
+        break;
+      }
+      if (engine.carrier_path_blocked()) {
+        for (const NodeId obs : model_.observation_points()) {
+          EXPECT_EQ(static_cast<VSet>(engine.get(obs) & kCarrierSet), 0);
+        }
+      }
+    }
   }
 }
 

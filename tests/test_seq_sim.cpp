@@ -126,5 +126,65 @@ TEST(ParallelSim3Test, MatchesScalarSimLaneWise) {
   }
 }
 
+TEST(ResettleFrame, MatchesFullEvalUnderRandomBoundaryFlips) {
+  // The incremental per-decision resettle (FramePodem's discipline) must
+  // stay exactly eval_frame() across arbitrary boundary flip sequences,
+  // with and without an injection.
+  const net::Netlist nl = circuits::load_circuit("s298");
+  const SeqSimulator sim(nl);
+  const FlatCircuit& fc = *sim.flat();
+  for (const bool inject : {false, true}) {
+    Injection injection;
+    if (inject) {
+      injection.line = static_cast<net::GateId>(nl.size() / 2);
+      injection.faulty = Lv::Zero;
+    }
+    const Injection* inj = inject ? &injection : nullptr;
+    InputVec pis(nl.inputs().size(), Lv::X);
+    StateVec state(nl.dffs().size(), Lv::X);
+    std::vector<Lv> incremental;
+    sim.eval_frame(pis, state, incremental, inj);
+    Rng rng(2026);
+    BitQueue work;
+    const Lv values[] = {Lv::Zero, Lv::One, Lv::X};
+    for (int step = 0; step < 120; ++step) {
+      work.begin(fc.body_count());
+      bool any = false;
+      const std::size_t n_changes = 1 + rng.next_below(2);
+      for (std::size_t c = 0; c < n_changes; ++c) {
+        const bool is_ppi = rng.next_bool() && !state.empty();
+        const std::size_t index = is_ppi ? rng.next_below(state.size())
+                                         : rng.next_below(pis.size());
+        const Lv v = values[rng.next_below(3)];
+        const net::GateId line =
+            is_ppi ? nl.dffs()[index] : nl.inputs()[index];
+        if (is_ppi) {
+          state[index] = v;
+        } else {
+          pis[index] = v;
+        }
+        Lv applied = v;
+        if (inj != nullptr && inj->line == line) {
+          applied = combine(good_value(applied), inj->faulty);
+        }
+        if (applied == incremental[line]) {
+          continue;
+        }
+        incremental[line] = applied;
+        for (const std::uint32_t reader : fc.readers(line)) {
+          work.push(reader);
+        }
+        any = true;
+      }
+      if (any) {
+        sim.resettle_frame(incremental, work, inj);
+      }
+      std::vector<Lv> fresh;
+      sim.eval_frame(pis, state, fresh, inj);
+      ASSERT_EQ(incremental, fresh) << "step " << step;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gdf::sim
