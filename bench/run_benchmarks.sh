@@ -82,6 +82,22 @@ if [[ "$(echo "$CSV_BIG_OFF" | cut -d, -f1-5)" != \
   exit 1
 fi
 
+# ADI ordering budget trade-off (satellite of the backend PR): the
+# sampling-based fault order spends adi_sequences random sequences per
+# estimate. Sweep the budget on two mid-size circuits and record how
+# coverage and runtime move with the sample count — the first data point
+# for picking a default.
+ADI_CIRCUITS="--circuit s298 --circuit s386"
+for budget in 2 8 16; do
+  echo "run_benchmarks: --fault-order adi --adi-sequences $budget ..." >&2
+  TA=$(date +%s.%N)
+  csv=$("$GDF_ATPG" $ADI_CIRCUITS --csv --fault-order adi \
+    --adi-sequences "$budget")
+  TB=$(date +%s.%N)
+  declare "ADI_CSV_$budget=$csv"
+  declare "ADI_WALL_$budget=$(echo "$TB $TA" | awk '{printf "%.3f", $1 - $2}')"
+done
+
 MICRO_JSON="null"
 if [[ -x "$MICRO_SIM" ]]; then
   echo "run_benchmarks: running micro_simulation ..." >&2
@@ -96,6 +112,9 @@ CSV_J1="$CSV_J1" CSV_JN="$CSV_JN" JOBS="$JOBS" HW="$HW" \
   WALL_J1="$WALL_J1" WALL_JN="$WALL_JN" \
   WALL_BIG_OFF="$WALL_BIG_OFF" WALL_BIG_SHARD="$WALL_BIG_SHARD" \
   STAGES_BIG="$STAGES_BIG" \
+  ADI_CSV_2="$ADI_CSV_2" ADI_WALL_2="$ADI_WALL_2" \
+  ADI_CSV_8="$ADI_CSV_8" ADI_WALL_8="$ADI_WALL_8" \
+  ADI_CSV_16="$ADI_CSV_16" ADI_WALL_16="$ADI_WALL_16" \
   python3 - "$OUTPUT" "$MICRO_JSON" <<'EOF'
 import json
 import os
@@ -166,6 +185,53 @@ for m in re.finditer(
     search_core["probe_cone"] += int(m.group(2))
     search_core["probe_full"] += int(m.group(3))
 
+# Simulation-kernel counters (the backend PR): which backend ran and how
+# many gate evaluations each lane width performed over the tail circuits.
+sim_kernel = {"scalar": 0, "w64": 0, "w256": 0, "w512": 0}
+for m in re.finditer(
+        r"sim kernel evals\s+scalar (\d+), w64 (\d+), w256 (\d+), "
+        r"w512 (\d+)", stages_text):
+    sim_kernel["scalar"] += int(m.group(1))
+    sim_kernel["w64"] += int(m.group(2))
+    sim_kernel["w256"] += int(m.group(3))
+    sim_kernel["w512"] += int(m.group(4))
+backend_m = re.search(r"sim backend\s+(\S+) \((\d+) lanes\)", stages_text)
+
+# The WordN<K> lane ladder from the micro benchmarks: gate-evals/s per
+# width plus the relative speedup over the one-word baseline. avx2_build
+# says whether the binary was compiled with wide vectors — the CI AVX2 job
+# asserts the >=1.5x floor on it; scalar builds just record the ratios.
+lane_ladder = None
+by_name = {b.get("name"): b for b in micro}
+base = by_name.get("BM_ParallelFrame64Lanes")
+if base and "items_per_second" in base:
+    lane_ladder = {
+        "avx2_build": bool(base.get("avx2_build", 0)),
+        "gate_evals_per_second": {"64": base["items_per_second"]},
+        "speedup_vs_64": {},
+    }
+    for lanes, name in (("256", "BM_ParallelFrameLanes256"),
+                        ("512", "BM_ParallelFrameLanes512")):
+        entry = by_name.get(name)
+        if entry and "items_per_second" in entry:
+            ips = entry["items_per_second"]
+            lane_ladder["gate_evals_per_second"][lanes] = ips
+            lane_ladder["speedup_vs_64"][lanes] = round(
+                ips / base["items_per_second"], 2)
+
+# The ADI budget sweep: coverage/runtime versus sample count.
+adi_budget = []
+for budget in (2, 8, 16):
+    rows = parse(os.environ[f"ADI_CSV_{budget}"])
+    adi_budget.append({
+        "adi_sequences": budget,
+        "circuits": [r["circuit"] for r in rows],
+        "tested": sum(r["tested"] for r in rows),
+        "aborted": sum(r["aborted"] for r in rows),
+        "patterns": sum(r["patterns"] for r in rows),
+        "wall_seconds": float(os.environ[f"ADI_WALL_{budget}"]),
+    })
+
 report = {
     "benchmark": "gdf_atpg --all --csv",
     "jobs": jobs,
@@ -184,6 +250,14 @@ report = {
         round(big_off / big_shard, 2) if big_shard > 0 else None,
     # ISSUE-5 search-core counters over the s1196+s1238 sequential run.
     "search_core_s1196_s1238": search_core,
+    # The backend PR: active backend plus per-width kernel eval counts
+    # over the same run, the WordN<K> micro ladder, and the ADI ordering
+    # sampling-budget trade-off.
+    "sim_backend": backend_m.group(1) if backend_m else None,
+    "sim_lanes": int(backend_m.group(2)) if backend_m else None,
+    "sim_kernel_evals_s1196_s1238": sim_kernel,
+    "lane_ladder": lane_ladder,
+    "adi_budget": adi_budget,
     # Sum of per-circuit times at --jobs 1: the work metric comparable
     # with pre-parallelism PRs (their total_seconds).
     "total_seconds": round(serial_total, 3),
@@ -217,3 +291,27 @@ EOF
 else
   echo "run_benchmarks: single-core runner — skipping the speedup floor" >&2
 fi
+
+# Lane-ladder floor: on builds with wide vectors (the CI AVX2 job) the
+# WordN<K> rungs must actually pay — at least one of 256/512 lanes has to
+# clear 1.5x the 64-lane baseline in gate-evals/s. Scalar builds record
+# the ratios without asserting: without SIMD the extra planes are just
+# more sequential work per pass.
+python3 - "$OUTPUT" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+ladder = report.get("lane_ladder")
+if not ladder:
+    print("run_benchmarks: no lane ladder recorded (micro bench missing)",
+          file=sys.stderr)
+elif not ladder["avx2_build"]:
+    print("run_benchmarks: non-AVX2 build — lane-ladder floor not asserted",
+          file=sys.stderr)
+else:
+    speedups = list(ladder["speedup_vs_64"].values())
+    if speedups and max(speedups) < 1.5:
+        sys.exit(f"run_benchmarks: lane ladder speedups {speedups} never "
+                 f"reach 1.5x over 64 lanes on an AVX2 build")
+EOF

@@ -146,19 +146,22 @@ void TwoFrameSim::rerun_sources(
   }
 }
 
-unsigned TwoFrameSim::forced_sweep(std::span<const VSet> baseline,
-                                   std::span<const ForcedLane> lanes,
-                                   std::span<VSet> stop_values) const {
+std::uint64_t TwoFrameSim::forced_sweep(std::span<const VSet> baseline,
+                                        std::span<const ForcedLane> lanes,
+                                        std::span<VSet> stop_values) const {
   const std::size_t n_nodes = model_->node_count();
-  GDF_ASSERT(lanes.size() <= 8, "at most 8 scenarios per packed sweep");
+  const unsigned words = lane_words_;
+  GDF_ASSERT(lanes.size() <= 8u * words,
+             "too many scenarios for this packed sweep capacity");
   GDF_ASSERT(baseline.size() == n_nodes, "baseline size mismatch");
 
-  // One byte lane per scenario; lane_dirty_[id] is the lane bitmask of
-  // scenarios whose value at `id` differs from the shared baseline. Clean
-  // lanes read the baseline and all per-node lane state is epoch-stamped,
-  // so a sweep touches only the union of the (possibly truncated) cones.
-  if (packed_.size() < n_nodes) {
-    packed_.resize(n_nodes, 0);
+  // One byte lane per scenario, `words` packed 64-bit words per node;
+  // lane_dirty_[id] is the lane bitmask of scenarios whose value at `id`
+  // differs from the shared baseline. Clean lanes read the baseline and
+  // all per-node lane state is epoch-stamped, so a sweep touches only the
+  // union of the (possibly truncated) cones.
+  if (packed_.size() < n_nodes * words) {
+    packed_.resize(n_nodes * words, 0);
     lane_dirty_.resize(n_nodes, 0);
     lane_forced_.resize(n_nodes, 0);
     lane_stamp_.resize(n_nodes, 0);
@@ -167,75 +170,84 @@ unsigned TwoFrameSim::forced_sweep(std::span<const VSet> baseline,
   const auto touch = [&](NodeId id) {
     if (lane_stamp_[id] != lane_epoch_) {
       lane_stamp_[id] = lane_epoch_;
-      packed_[id] = 0;
+      for (unsigned w = 0; w < words; ++w) {
+        packed_[id * words + w] = 0;
+      }
       lane_dirty_[id] = 0;
       lane_forced_[id] = 0;
     }
   };
-  const auto dirty_of = [&](NodeId id) -> std::uint8_t {
+  const auto dirty_of = [&](NodeId id) -> std::uint64_t {
     return lane_stamp_[id] == lane_epoch_ ? lane_dirty_[id] : 0;
+  };
+  const auto packed_get = [&](NodeId id, unsigned lane) -> VSet {
+    return static_cast<VSet>(packed_[id * words + lane / 8] >>
+                             (8 * (lane % 8)));
+  };
+  const auto packed_put = [&](NodeId id, unsigned lane, VSet v) {
+    std::uint64_t& word = packed_[id * words + lane / 8];
+    const unsigned shift = 8 * (lane % 8);
+    word = (word & ~(std::uint64_t{0xFF} << shift)) |
+           (std::uint64_t{v} << shift);
   };
   work_.begin(n_nodes);
   bool any_stop = false;
-  unsigned stop_lanes = 0;
+  std::uint64_t stop_lanes = 0;
   for (std::size_t i = 0; i < lanes.size(); ++i) {
     const ForcedLane& lane = lanes[i];
     GDF_ASSERT(lane.node < n_nodes, "forced node out of range");
     touch(lane.node);
-    packed_[lane.node] |= std::uint64_t{lane.set} << (8 * i);
-    lane_dirty_[lane.node] =
-        static_cast<std::uint8_t>(lane_dirty_[lane.node] | 1u << i);
-    lane_forced_[lane.node] =
-        static_cast<std::uint8_t>(lane_forced_[lane.node] | 1u << i);
+    packed_put(lane.node, static_cast<unsigned>(i), lane.set);
+    lane_dirty_[lane.node] |= std::uint64_t{1} << i;
+    lane_forced_[lane.node] |= std::uint64_t{1} << i;
     for (const NodeId reader : model_->fanout(lane.node)) {
       work_.push(reader);
     }
     if (lane.stop != kNoNode) {
       GDF_ASSERT(i < stop_values.size(), "missing stop_values entry");
       any_stop = true;
-      stop_lanes |= 1u << i;
+      stop_lanes |= std::uint64_t{1} << i;
       stop_values[i] = baseline[lane.stop];
     }
   }
   const auto lane_value = [&](NodeId id, unsigned lane) -> VSet {
     if ((dirty_of(id) >> lane & 1u) != 0) {
-      return static_cast<VSet>(packed_[id] >> (8 * lane));
+      return packed_get(id, lane);
     }
     return baseline[id];
   };
   NodeId id;
   while (work_.pop(&id)) {
     const Node& n = model_->node(id);
-    const std::uint8_t in_dirty = static_cast<std::uint8_t>(
-        dirty_of(n.in0) | (n.in1 != kNoNode ? dirty_of(n.in1) : 0));
+    const std::uint64_t in_dirty =
+        dirty_of(n.in0) | (n.in1 != kNoNode ? dirty_of(n.in1) : 0);
     if (in_dirty == 0) {
       continue;  // the inputs' waves died before reaching this reader
     }
     touch(id);
-    std::uint8_t affected =
-        static_cast<std::uint8_t>(in_dirty & ~lane_forced_[id]);
+    std::uint64_t affected = in_dirty & ~lane_forced_[id];
     while (affected != 0) {
-      const unsigned lane = static_cast<unsigned>(__builtin_ctz(affected));
-      affected = static_cast<std::uint8_t>(affected & (affected - 1));
+      const unsigned lane = static_cast<unsigned>(__builtin_ctzll(affected));
+      affected &= affected - 1;
       const VSet out = eval_node(
           *algebra_, n.kind, lane_value(n.in0, lane),
           n.in1 != kNoNode ? lane_value(n.in1, lane) : kEmptySet);
       if (out != baseline[id]) {
-        packed_[id] = (packed_[id] & ~(std::uint64_t{0xFF} << (8 * lane))) |
-                      (std::uint64_t{out} << (8 * lane));
-        lane_dirty_[id] =
-            static_cast<std::uint8_t>(lane_dirty_[id] | 1u << lane);
+        packed_put(id, lane, out);
+        lane_dirty_[id] |= std::uint64_t{1} << lane;
       }
     }
     // Truncated lanes hand their value over at the stop node and go quiet:
     // every path to an observation point passes it, so nothing downstream
     // of it can matter to the caller.
     if (any_stop) {
-      for (std::size_t i = 0; i < lanes.size(); ++i) {
-        if (lanes[i].stop == id && (lane_dirty_[id] >> i & 1u) != 0) {
-          stop_values[i] = static_cast<VSet>(packed_[id] >> (8 * i));
-          lane_dirty_[id] =
-              static_cast<std::uint8_t>(lane_dirty_[id] & ~(1u << i));
+      std::uint64_t cand = lane_dirty_[id] & stop_lanes;
+      while (cand != 0) {
+        const unsigned i = static_cast<unsigned>(__builtin_ctzll(cand));
+        cand &= cand - 1;
+        if (lanes[i].stop == id) {
+          stop_values[i] = packed_get(id, i);
+          lane_dirty_[id] &= ~(std::uint64_t{1} << i);
         }
       }
     }
@@ -250,18 +262,18 @@ unsigned TwoFrameSim::forced_sweep(std::span<const VSet> baseline,
   // a PO observation point can observe. Truncated lanes answer at their
   // stop node instead and are filtered out of the verdict below (when the
   // stop is a true dominator their wave cannot reach a PO anyway).
-  unsigned mask = 0;
+  std::uint64_t mask = 0;
   for (const NodeId obs : model_->observation_points()) {
     if (!model_->node(obs).is_po) {
       continue;
     }
-    std::uint8_t d = dirty_of(obs);
+    std::uint64_t d = dirty_of(obs);
     while (d != 0) {
-      const unsigned lane = static_cast<unsigned>(__builtin_ctz(d));
-      d = static_cast<std::uint8_t>(d & (d - 1));
-      const VSet s = static_cast<VSet>(packed_[obs] >> (8 * lane));
+      const unsigned lane = static_cast<unsigned>(__builtin_ctzll(d));
+      d &= d - 1;
+      const VSet s = packed_get(obs, lane);
       if (s != kEmptySet && (s & ~kCarrierSet) == 0) {
-        mask |= 1u << lane;
+        mask |= std::uint64_t{1} << lane;
       }
     }
   }

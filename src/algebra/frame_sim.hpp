@@ -8,6 +8,8 @@
 // analysis.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -38,8 +40,19 @@ VSet vset_primary_from_frames(int initial_bit, int final_bit);
 
 class TwoFrameSim {
  public:
-  TwoFrameSim(const AtpgModel& model, const DelayAlgebra& algebra)
-      : model_(&model), algebra_(&algebra) {}
+  /// `packed_lanes` caps the scenario count of one forced_sweep call
+  /// (rounded up to whole 64-bit words of eight VSet byte lanes, at most
+  /// 64). The default keeps the classic one-word batches; TDsim passes
+  /// the configured backend ladder width through so wider backends batch
+  /// more stems per cone sweep.
+  explicit TwoFrameSim(const AtpgModel& model, const DelayAlgebra& algebra,
+                       unsigned packed_lanes = 8)
+      : model_(&model),
+        algebra_(&algebra),
+        lane_words_(std::min(8u, (std::max(packed_lanes, 1u) + 7) / 8)) {}
+
+  /// Scenario capacity of one packed sweep (8 * lane words, at most 64).
+  unsigned packed_lane_capacity() const { return 8 * lane_words_; }
 
   /// Computes the value set of every node. `fault` may be null for a
   /// fault-free pass. Sets over-approximate reachable values, so a result
@@ -88,21 +101,23 @@ class TwoFrameSim {
     NodeId stop = kNoNode;
   };
 
-  /// Batched run_forced over a shared fault-free baseline: up to eight
-  /// independent scenarios evaluated in one packed cone sweep (one byte
-  /// lane per scenario). For lanes without a stop node, the returned
-  /// bitmask has bit i set when scenario i forces a carrier-only value at
-  /// some primary output. For lanes with one, stop_values[i] (which must
-  /// have one entry per lane) receives the scenario's settled value at its
-  /// stop node — baseline when the wave never reaches it — and the mask
-  /// bit stays clear.
-  unsigned forced_sweep(std::span<const VSet> baseline,
-                        std::span<const ForcedLane> lanes,
-                        std::span<VSet> stop_values) const;
+  /// Batched run_forced over a shared fault-free baseline: up to
+  /// packed_lane_capacity() independent scenarios evaluated in one packed
+  /// cone sweep (one byte lane per scenario, eight lanes per 64-bit word).
+  /// For lanes without a stop node, the returned bitmask has bit i set
+  /// when scenario i forces a carrier-only value at some primary output.
+  /// For lanes with one, stop_values[i] (which must have one entry per
+  /// lane) receives the scenario's settled value at its stop node —
+  /// baseline when the wave never reaches it — and the mask bit stays
+  /// clear.
+  std::uint64_t forced_sweep(std::span<const VSet> baseline,
+                             std::span<const ForcedLane> lanes,
+                             std::span<VSet> stop_values) const;
 
   /// forced_sweep without truncation — every lane reports the PO verdict.
-  unsigned forced_po_carrier_mask(std::span<const VSet> baseline,
-                                  std::span<const ForcedLane> lanes) const {
+  std::uint64_t forced_po_carrier_mask(
+      std::span<const VSet> baseline,
+      std::span<const ForcedLane> lanes) const {
     return forced_sweep(baseline, lanes, {});
   }
 
@@ -114,13 +129,15 @@ class TwoFrameSim {
 
   const AtpgModel* model_;
   const DelayAlgebra* algebra_;
+  /// 64-bit words of packed VSet byte lanes per node (see forced_sweep).
+  unsigned lane_words_ = 1;
   /// Scratch for the cone-replay paths (not thread-safe, like the engines
   /// that own this simulator). The worklist resets in O(previous wave),
   /// so replays carry no per-call O(nodes) cost.
   mutable sim::BitQueue work_;
   mutable std::vector<std::uint64_t> packed_;
-  mutable std::vector<std::uint8_t> lane_dirty_;
-  mutable std::vector<std::uint8_t> lane_forced_;
+  mutable std::vector<std::uint64_t> lane_dirty_;
+  mutable std::vector<std::uint64_t> lane_forced_;
   mutable std::vector<std::uint64_t> lane_stamp_;
   mutable std::uint64_t lane_epoch_ = 0;
 };

@@ -20,6 +20,7 @@
 #include "cli/args.hpp"
 #include "core/report.hpp"
 #include "run/sweep.hpp"
+#include "sim/lanes.hpp"
 
 namespace gdf::cli {
 namespace {
@@ -45,7 +46,12 @@ int run(const DriverConfig& config) {
                                  : core::format_table3_row(row.table))
                                 .c_str());
         if (config.stage_stats) {
-          std::printf("%s\n",
+          // The active backend is a per-run choice (auto probes the CPU),
+          // so it prints with the stage counters, never in the row bytes.
+          const unsigned lanes =
+              sim::resolve_lane_count(config.atpg.lanes);
+          std::printf("  sim backend            %s (%u lanes)\n%s\n",
+                      sim::lane_backend_name(lanes), lanes,
                       core::format_stage_stats(row.stages).c_str());
         }
         std::fflush(stdout);

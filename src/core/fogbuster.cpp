@@ -74,6 +74,7 @@ void StageStats::add(const StageStats& other) {
   aborted_sequential += other.aborted_sequential;
   aborted_time += other.aborted_time;
   search.add(other.search);
+  sim.add(other.sim);
 }
 
 namespace {
@@ -139,8 +140,9 @@ Fogbuster::Fogbuster(std::shared_ptr<const CircuitContext> context,
       options_(options),
       algebra_(&ctx_->algebra(options.mode)),
       fill_rng_(options.fill_seed),
-      fausim_(ctx_->flat()),
-      tdsim_(ctx_->model(), *algebra_) {
+      fausim_(ctx_->flat(), options.lanes),
+      tdsim_(ctx_->model(), *algebra_,
+             sim::packed_stem_lanes(sim::resolve_lane_count(options.lanes))) {
   check(ctx_->structurally_compatible(options_),
         "Fogbuster: context was built under different structural options "
         "(expand_branches / fault_sites)");
@@ -464,6 +466,10 @@ void Fogbuster::apply_test(const TestSequence& sequence,
       ++result->stages.dropped;
     }
   }
+  // Attribute the dropping pass's kernel work while apply_test is still
+  // the serialized step, so sequential and sharded runs accumulate the
+  // same per-backend counters in the same order.
+  result->stages.sim.add(fausim_.take_kernel_counters());
 }
 
 void Fogbuster::merge_targeted(std::size_t i, bool memoized,

@@ -64,7 +64,10 @@ std::string format_stage_stats(const StageStats& s) {
      << s.search.trail_pushes << ", pops " << s.search.trail_pops << "\n"
      << "  verification probes    " << s.search.probe_runs
      << " (cone-scoped " << s.search.probe_cone << ", full "
-     << s.search.probe_full << ")";
+     << s.search.probe_full << ")\n"
+     << "  sim kernel evals       scalar " << s.sim.scalar_evals
+     << ", w64 " << s.sim.lane_evals_64 << ", w256 "
+     << s.sim.lane_evals_256 << ", w512 " << s.sim.lane_evals_512;
   return os.str();
 }
 

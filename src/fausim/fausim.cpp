@@ -1,17 +1,21 @@
 #include "fausim/fausim.hpp"
 
+#include <algorithm>
+
 #include "base/error.hpp"
 
 namespace gdf::fausim {
 
 using sim::Lv;
-using sim::Word3;
 
-Fausim::Fausim(const net::Netlist& nl)
-    : Fausim(sim::FlatCircuit::build(nl)) {}
+Fausim::Fausim(const net::Netlist& nl, sim::LaneSpec lanes)
+    : Fausim(sim::FlatCircuit::build(nl), lanes) {}
 
-Fausim::Fausim(std::shared_ptr<const sim::FlatCircuit> fc)
-    : fc_(std::move(fc)), scalar_(fc_), parallel_(fc_) {}
+Fausim::Fausim(std::shared_ptr<const sim::FlatCircuit> fc,
+               sim::LaneSpec lanes)
+    : fc_(std::move(fc)),
+      scalar_(fc_),
+      max_lanes_(sim::resolve_lane_count(lanes)) {}
 
 Fausim::GoodTrace Fausim::simulate_good(std::span<const sim::InputVec> frames,
                                         Rng& rng) const {
@@ -36,14 +40,31 @@ Fausim::GoodTrace Fausim::simulate_good(std::span<const sim::InputVec> frames,
     scalar_.eval_frame(pis, trace.states.back(), trace.lines.back());
     trace.states.push_back(scalar_.next_state(trace.lines.back()));
   }
+  scalar_evals_ += static_cast<long>(frames.size()) *
+                   static_cast<long>(fc_->body_count());
   return trace;
+}
+
+sim::SimBackend& Fausim::backend_for(std::size_t flip_count) const {
+  // Smallest rung that runs the whole pass in one block, capped by the
+  // configured width. 64*K - 1 faulty machines fit a K-plane rung (lane 0
+  // is the good machine).
+  static constexpr unsigned kRungLanes[3] = {64, 256, 512};
+  std::size_t rung = 0;
+  while (rung + 1 < 3 && kRungLanes[rung + 1] <= max_lanes_ &&
+         kRungLanes[rung] - 1 < flip_count) {
+    ++rung;
+  }
+  if (backends_[rung] == nullptr) {
+    backends_[rung] = sim::make_sim_backend(fc_, kRungLanes[rung]);
+  }
+  return *backends_[rung];
 }
 
 std::vector<bool> Fausim::ppo_observability(
     const sim::StateVec& state_after_fast,
     std::span<const sim::InputVec> propagation_frames) const {
-  const net::Netlist& nl = fc_->netlist();
-  const std::size_t n_ff = nl.dffs().size();
+  const std::size_t n_ff = fc_->dffs().size();
   GDF_ASSERT(state_after_fast.size() == n_ff, "state size mismatch");
   std::vector<bool> observable(n_ff, false);
 
@@ -60,80 +81,35 @@ std::vector<bool> Fausim::ppo_observability(
     return observable;
   }
 
-  // PI words are identical in every lane, so each propagation frame is
-  // converted exactly once and reused by every pass; lanes past the active
-  // count simply replay the good machine.
-  constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
-  const std::size_t n_pi = nl.inputs().size();
-  std::vector<std::vector<Word3>> pi_frames(propagation_frames.size());
-  for (std::size_t f = 0; f < propagation_frames.size(); ++f) {
-    const sim::InputVec& pis = propagation_frames[f];
-    GDF_ASSERT(pis.size() == n_pi, "PI size mismatch");
-    pi_frames[f].resize(n_pi);
-    for (std::size_t i = 0; i < n_pi; ++i) {
-      pi_frames[f][i] = sim::w3_const(pis[i], kAllLanes);
-    }
-  }
-  std::vector<Word3> base_state(n_ff);
-  for (std::size_t i = 0; i < n_ff; ++i) {
-    base_state[i] = sim::w3_const(state_after_fast[i], kAllLanes);
-  }
-
-  // Lane 0 is the good machine; lanes 1..63 flip one definite state bit
-  // each. 63 faulty machines per pass; buffers persist across passes.
-  std::vector<Word3> state_words;
-  std::vector<Word3> line_words;
-  std::vector<Word3> next_words;
-  for (std::size_t begin = 0; begin < flippable.size(); begin += 63) {
-    const std::size_t n_lanes = std::min<std::size_t>(
-        63, flippable.size() - begin);
-    state_words = base_state;
-    for (std::size_t lane = 0; lane < n_lanes; ++lane) {
-      const std::size_t ff = flippable[begin + lane];
-      const std::uint64_t bit = std::uint64_t{1} << (lane + 1);
-      // Flip the captured value in this faulty machine.
-      const Lv bad =
-          state_after_fast[ff] == Lv::One ? Lv::Zero : Lv::One;
-      state_words[ff].ones &= ~bit;
-      state_words[ff].zeros &= ~bit;
-      const Word3 w = sim::w3_const(bad, bit);
-      state_words[ff].ones |= w.ones;
-      state_words[ff].zeros |= w.zeros;
-    }
-
-    // Lanes of this pass whose difference has not reached a PO yet.
-    std::uint64_t pending =
-        ((n_lanes >= 63 ? std::uint64_t{0x7FFFFFFFFFFFFFFF}
-                        : ((std::uint64_t{1} << n_lanes) - 1)))
-        << 1;
-    for (const std::vector<Word3>& pi_words : pi_frames) {
-      parallel_.eval_frame(pi_words, state_words, line_words);
-      for (const net::GateId po : nl.outputs()) {
-        const Word3 w = line_words[po];
-        // A lane differs from the good machine when both are definite and
-        // opposite: good 1 => the lane's zero rail, good 0 => its one rail.
-        const bool good_one = (w.ones & 1) != 0;
-        const bool good_zero = (w.zeros & 1) != 0;
-        if (!good_one && !good_zero) {
-          continue;
-        }
-        std::uint64_t hits = (good_one ? w.zeros : w.ones) & pending;
-        while (hits != 0) {
-          const unsigned lane =
-              static_cast<unsigned>(__builtin_ctzll(hits));
-          hits &= hits - 1;
-          observable[flippable[begin + (lane - 1)]] = true;
-          pending &= ~(std::uint64_t{1} << lane);
-        }
-      }
-      if (pending == 0) {
-        break;  // every lane of this pass already observed
-      }
-      parallel_.next_state(line_words, next_words);
-      state_words.swap(next_words);
-    }
+  sim::SimBackend& backend = backend_for(flippable.size());
+  backend.load_frames(propagation_frames);
+  const std::size_t per_pass = backend.lanes() - 1;
+  for (std::size_t begin = 0; begin < flippable.size(); begin += per_pass) {
+    const std::size_t count =
+        std::min(per_pass, flippable.size() - begin);
+    backend.run_pass(state_after_fast,
+                     std::span<const std::size_t>(flippable)
+                         .subspan(begin, count),
+                     observable);
   }
   return observable;
+}
+
+sim::KernelCounters Fausim::take_kernel_counters() {
+  sim::KernelCounters out;
+  out.scalar_evals = scalar_evals_;
+  scalar_evals_ = 0;
+  long* buckets[3] = {&out.lane_evals_64, &out.lane_evals_256,
+                      &out.lane_evals_512};
+  for (std::size_t rung = 0; rung < 3; ++rung) {
+    if (backends_[rung] == nullptr) {
+      continue;
+    }
+    const long total = backends_[rung]->lane_gate_evals();
+    *buckets[rung] = total - harvested_lane_evals_[rung];
+    harvested_lane_evals_[rung] = total;
+  }
+  return out;
 }
 
 }  // namespace gdf::fausim

@@ -6,32 +6,39 @@
 //  2. "stuck-at fault simulation" of the propagation phase: a D value is
 //     injected at each pseudo primary output that is not steady, and the
 //     propagation frames are simulated to find which PPOs are observable
-//     at a primary output. All injections run in one dual-rail parallel
-//     pass (one lane per flip-flop plus the good machine).
+//     at a primary output. All injections run in batched dual-rail passes
+//     (one lane per flip-flop plus the good machine).
 //
 // Phase 3 (delay-fault critical path tracing inside the fast frame) lives
 // in TDsim.
 //
-// Both engines share one flat circuit form; phase 2 converts each
-// propagation frame's PI vector to lane words exactly once and keeps all
-// 64 lanes hot across the per-flip-flop passes.
+// Phase 2 runs behind the pluggable SimBackend seam (sim/backend.hpp):
+// the configured --lanes value caps the rung of the WordN ladder, and each
+// pass picks the smallest rung that covers its flip count in one block, so
+// narrow state vectors never pay for planes they cannot fill. Every rung
+// computes identical verdicts — lanes are independent machines — so the
+// choice never shows in the results, only in the kernel counters.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "base/rng.hpp"
+#include "sim/backend.hpp"
 #include "sim/flat_circuit.hpp"
-#include "sim/parallel3.hpp"
+#include "sim/lanes.hpp"
 #include "sim/seq_sim.hpp"
 
 namespace gdf::fausim {
 
 class Fausim {
  public:
-  explicit Fausim(const net::Netlist& nl);
+  explicit Fausim(const net::Netlist& nl, sim::LaneSpec lanes = {});
   /// Shares an already-built flat circuit form.
-  explicit Fausim(std::shared_ptr<const sim::FlatCircuit> fc);
+  explicit Fausim(std::shared_ptr<const sim::FlatCircuit> fc,
+                  sim::LaneSpec lanes = {});
 
   struct GoodTrace {
     /// Input vectors with every X bit filled randomly (what the tester
@@ -57,12 +64,31 @@ class Fausim {
       const sim::StateVec& state_after_fast,
       std::span<const sim::InputVec> propagation_frames) const;
 
+  /// The configured rung of the lane ladder (what --stages reports); a
+  /// pass may run on a narrower rung when its flip count fits one.
+  unsigned max_lanes() const { return max_lanes_; }
+  const char* backend_name() const {
+    return sim::lane_backend_name(max_lanes_);
+  }
+
+  /// Kernel work since the last harvest, attributed per backend; resets
+  /// the counters. Serialized by the caller like the simulators' scratch.
+  sim::KernelCounters take_kernel_counters();
+
   const net::Netlist& netlist() const { return fc_->netlist(); }
 
  private:
+  sim::SimBackend& backend_for(std::size_t flip_count) const;
+
   std::shared_ptr<const sim::FlatCircuit> fc_;
   sim::SeqSimulator scalar_;
-  sim::ParallelSim3 parallel_;
+  unsigned max_lanes_;
+  /// Lazily-built ladder rungs (64/256/512 lanes) and per-rung harvest
+  /// snapshots. Instance-local scratch behind the const API, like the
+  /// scalar engine's buffers — never shared across threads.
+  mutable std::array<std::unique_ptr<sim::SimBackend>, 3> backends_;
+  mutable long scalar_evals_ = 0;
+  std::array<long, 3> harvested_lane_evals_ = {0, 0, 0};
 };
 
 }  // namespace gdf::fausim

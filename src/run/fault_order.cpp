@@ -13,11 +13,12 @@ namespace gdf::run {
 
 namespace {
 
-// Accidental-detection sampling budget: sequences are short enough that a
-// pass costs about as much as one fault-dropping round of the real flow,
-// and few enough that the whole ordering pass stays a small fraction of
-// generation time.
-constexpr int kAdiSequences = 8;
+// Accidental-detection sampling frames: sequences are short enough that a
+// pass costs about as much as one fault-dropping round of the real flow.
+// The sequence count (options.adi_sequences, default 8) is the sampling
+// budget: few enough by default that the whole ordering pass stays a small
+// fraction of generation time (bench/run_benchmarks.sh records the
+// coverage/runtime trade-off of varying it).
 constexpr std::size_t kAdiFrames = 6;
 
 std::vector<std::size_t> identity_order(std::size_t n) {
@@ -32,14 +33,16 @@ std::vector<long> accidental_detection_counts(
     const core::CircuitContext& ctx, const core::AtpgOptions& options) {
   const net::Netlist& nl = ctx.netlist();
   const alg::DelayAlgebra& algebra = ctx.algebra(options.mode);
-  fausim::Fausim fausim(ctx.flat());
-  const tdsim::Tdsim tdsim(ctx.model(), algebra);
+  fausim::Fausim fausim(ctx.flat(), options.lanes);
+  const tdsim::Tdsim tdsim(
+      ctx.model(), algebra,
+      sim::packed_stem_lanes(sim::resolve_lane_count(options.lanes)));
   // Decorrelated from the X-fill stream of the actual runs, but still a
   // pure function of the user's seed.
   Rng rng(options.fill_seed ^ 0xAD1AD1AD1AD1AD1AULL);
 
   std::vector<long> counts(ctx.faults().size(), 0);
-  for (int s = 0; s < kAdiSequences; ++s) {
+  for (int s = 0; s < options.adi_sequences; ++s) {
     std::vector<sim::InputVec> frames(
         kAdiFrames, sim::InputVec(nl.inputs().size(), sim::Lv::X));
     // simulate_good fills every X bit from the RNG, so all-X frames become

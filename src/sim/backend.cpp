@@ -1,0 +1,193 @@
+#include "sim/backend.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "base/error.hpp"
+#include "sim/parallel3.hpp"
+
+namespace gdf::sim {
+
+LaneSpec parse_lanes(std::string_view text) {
+  if (text == "auto") {
+    return LaneSpec{LaneSpec::Width::Auto};
+  }
+  if (text == "64") {
+    return LaneSpec{LaneSpec::Width::W64};
+  }
+  if (text == "256") {
+    return LaneSpec{LaneSpec::Width::W256};
+  }
+  if (text == "512") {
+    return LaneSpec{LaneSpec::Width::W512};
+  }
+  throw Error("--lanes expects 'auto', '64', '256' or '512', got '" +
+              std::string(text) + "'");
+}
+
+unsigned resolve_lane_count(LaneSpec spec) {
+  switch (spec.width) {
+    case LaneSpec::Width::W64:
+      return 64;
+    case LaneSpec::Width::W256:
+      return 256;
+    case LaneSpec::Width::W512:
+      return 512;
+    case LaneSpec::Width::Auto:
+      break;
+  }
+  // Probe the host vector width: a WordN<K> plane loop vectorizes to one
+  // op per 64*K lanes only when the registers are wide enough; past that
+  // the extra planes just cost more scalar ops per body.
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx512f")) {
+    return 512;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return 256;
+  }
+#endif
+  return 64;
+}
+
+const char* lane_backend_name(unsigned lanes) {
+  switch (lanes) {
+    case 64:
+      return "word64";
+    case 256:
+      return "word256";
+    case 512:
+      return "word512";
+    default:
+      break;
+  }
+  GDF_ASSERT(false, "unsupported lane count");
+  return "?";
+}
+
+namespace {
+
+/// The WordN<K> rung: lane planes live in host memory and the kernel is
+/// the shared eval_flat loop at 64*K lanes per body.
+template <unsigned K>
+class WordNBackend final : public SimBackend {
+ public:
+  using Word = WordN<K>;
+
+  explicit WordNBackend(std::shared_ptr<const FlatCircuit> fc)
+      : sim_(std::move(fc)) {}
+
+  unsigned lanes() const override { return Word::kLanes; }
+
+  const char* name() const override {
+    return lane_backend_name(Word::kLanes);
+  }
+
+  void load_frames(std::span<const InputVec> frames) override {
+    const FlatCircuit& fc = *sim_.flat();
+    const std::size_t n_pi = fc.inputs().size();
+    pi_frames_.resize(frames.size());
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      GDF_ASSERT(frames[f].size() == n_pi, "PI size mismatch");
+      pi_frames_[f].resize(n_pi);
+      for (std::size_t i = 0; i < n_pi; ++i) {
+        pi_frames_[f][i] = wn_broadcast<K>(frames[f][i]);
+      }
+    }
+  }
+
+  void run_pass(const StateVec& state_after_fast,
+                std::span<const std::size_t> flipped,
+                std::vector<bool>& observable) override {
+    const FlatCircuit& fc = *sim_.flat();
+    GDF_ASSERT(flipped.size() + 1 <= Word::kLanes, "too many flips per pass");
+    GDF_ASSERT(state_after_fast.size() == fc.dffs().size(),
+               "state size mismatch");
+
+    // Lane 0 replays the good machine; lane 1 + l flips one captured bit.
+    state_.resize(state_after_fast.size());
+    for (std::size_t i = 0; i < state_after_fast.size(); ++i) {
+      state_[i] = wn_broadcast<K>(state_after_fast[i]);
+    }
+    for (std::size_t l = 0; l < flipped.size(); ++l) {
+      const std::size_t ff = flipped[l];
+      const Lv bad =
+          state_after_fast[ff] == Lv::One ? Lv::Zero : Lv::One;
+      wn_set_lane(state_[ff], static_cast<unsigned>(l + 1), bad);
+    }
+
+    // Lanes of this pass whose difference has not reached a PO yet.
+    std::uint64_t pending[K] = {};
+    for (std::size_t l = 0; l < flipped.size(); ++l) {
+      pending[(l + 1) / 64] |= std::uint64_t{1} << ((l + 1) % 64);
+    }
+    for (const std::vector<Word>& pi_words : pi_frames_) {
+      sim_.eval_frame(pi_words, state_, lines_);
+      lane_evals_ +=
+          static_cast<long>(fc.body_count()) * static_cast<long>(lanes());
+      for (const net::GateId po : fc.outputs()) {
+        const Word& w = lines_[po];
+        // A lane differs from the good machine when both are definite and
+        // opposite: good 1 => the lane's zero rail, good 0 => its one
+        // rail. The good machine is lane 0 (plane 0, bit 0).
+        const bool good_one = (w.ones[0] & 1) != 0;
+        const bool good_zero = (w.zeros[0] & 1) != 0;
+        if (!good_one && !good_zero) {
+          continue;
+        }
+        for (unsigned p = 0; p < K; ++p) {
+          std::uint64_t hits =
+              (good_one ? w.zeros[p] : w.ones[p]) & pending[p];
+          while (hits != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(__builtin_ctzll(hits));
+            hits &= hits - 1;
+            observable[flipped[64 * p + bit - 1]] = true;
+            pending[p] &= ~(std::uint64_t{1} << bit);
+          }
+        }
+      }
+      bool all_observed = true;
+      for (unsigned p = 0; p < K; ++p) {
+        all_observed = all_observed && pending[p] == 0;
+      }
+      if (all_observed) {
+        break;  // every lane of this pass already observed
+      }
+      sim_.next_state(lines_, next_);
+      state_.swap(next_);
+    }
+  }
+
+  long lane_gate_evals() const override { return lane_evals_; }
+
+ private:
+  ParallelSimN<K> sim_;
+  std::vector<std::vector<Word>> pi_frames_;
+  /// Pass-local scratch, persisted so repeated passes do not reallocate.
+  std::vector<Word> state_;
+  std::vector<Word> lines_;
+  std::vector<Word> next_;
+  long lane_evals_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SimBackend> make_sim_backend(
+    std::shared_ptr<const FlatCircuit> fc, unsigned lanes) {
+  GDF_ASSERT(fc != nullptr, "null flat circuit");
+  switch (lanes) {
+    case 64:
+      return std::make_unique<WordNBackend<1>>(std::move(fc));
+    case 256:
+      return std::make_unique<WordNBackend<4>>(std::move(fc));
+    case 512:
+      return std::make_unique<WordNBackend<8>>(std::move(fc));
+    default:
+      break;
+  }
+  GDF_ASSERT(false, "unsupported lane count");
+  return nullptr;
+}
+
+}  // namespace gdf::sim

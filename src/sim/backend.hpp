@@ -1,0 +1,60 @@
+// SimBackend — the pluggable seam between FAUSIM's phase-2 orchestration
+// and the batched kernel that powers it.
+//
+// A backend owns the lane-plane storage for one WordN<K> rung of the
+// ladder and performs the once-per-block boundary conversions (PI frames
+// broadcast to all lanes, base state broadcast then per-lane flipped). The
+// caller only ever speaks scalar vectors and lane indices; everything
+// word-shaped stays behind this interface, which is exactly what a future
+// CUDA/SYCL backend would reimplement (device-resident planes, the same
+// load_frames/run_pass contract).
+//
+// Dispatch is per pass, never per gate: the virtual boundary costs one
+// call per block of flip-flops, and the kernel underneath is the shared
+// eval_flat loop.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/flat_circuit.hpp"
+#include "sim/lanes.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace gdf::sim {
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+
+  /// Total machine count per pass; lane 0 is the good machine, so
+  /// lanes() - 1 faulty machines run per pass.
+  virtual unsigned lanes() const = 0;
+
+  /// Display name ("word64" | "word256" | "word512").
+  virtual const char* name() const = 0;
+
+  /// Converts the propagation frames' PI vectors to lane planes, exactly
+  /// once for all subsequent passes (every lane applies the same PIs).
+  virtual void load_frames(std::span<const InputVec> frames) = 0;
+
+  /// One batched pass over the loaded frames. Lane 1 + l flips
+  /// `state_after_fast[flipped[l]]` (all entries binary-valued); every
+  /// flip whose good/faulty difference reaches a primary output within
+  /// the frames sets observable[flipped[l]]. flipped.size() must be at
+  /// most lanes() - 1.
+  virtual void run_pass(const StateVec& state_after_fast,
+                        std::span<const std::size_t> flipped,
+                        std::vector<bool>& observable) = 0;
+
+  /// Lane-gate-evaluations performed so far (kernel bodies * lanes).
+  virtual long lane_gate_evals() const = 0;
+};
+
+/// Builds the WordN backend for the requested lane count (64, 256 or 512;
+/// see resolve_lane_count).
+std::unique_ptr<SimBackend> make_sim_backend(
+    std::shared_ptr<const FlatCircuit> fc, unsigned lanes);
+
+}  // namespace gdf::sim

@@ -1,0 +1,56 @@
+// Lane-width selection for the batched simulation backends (--lanes).
+//
+// A LaneSpec is a per-run knob, never a structural one: every backend
+// computes bit-identical verdicts (lanes are independent machines), so the
+// choice may differ between hosts — `auto` probes the CPU's vector width —
+// without perturbing a single output byte. It therefore must not enter
+// CircuitContext::structurally_compatible or the sweep memo keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gdf::sim {
+
+struct LaneSpec {
+  enum class Width : std::uint8_t { Auto = 0, W64, W256, W512 };
+  Width width = Width::Auto;
+
+  bool operator==(const LaneSpec&) const = default;
+};
+
+/// Parses a --lanes value: auto | 64 | 256 | 512. Throws gdf::Error.
+LaneSpec parse_lanes(std::string_view text);
+
+/// The concrete lane count the spec selects on this host: 64, 256 or 512.
+/// Auto probes the CPU (AVX-512 => 512, AVX2 => 256, else 64).
+unsigned resolve_lane_count(LaneSpec spec);
+
+/// Backend display name for a resolved lane count ("word64" | "word256" |
+/// "word512").
+const char* lane_backend_name(unsigned lanes);
+
+/// Packed byte-lane capacity of the CPT stem sweeps for a resolved lane
+/// count: eight VSet byte lanes per 64-bit word, one word per plane, so
+/// the stem batches scale with the same ladder (8 | 32 | 64).
+inline unsigned packed_stem_lanes(unsigned lanes) { return lanes / 8; }
+
+/// Gate-evaluation counters attributed per kernel, so sweeps can tell
+/// which backend the simulation time went to (--stages prints them).
+/// Lane-evals count bodies * active lanes; the scalar bucket counts plain
+/// five-valued body evaluations.
+struct KernelCounters {
+  long scalar_evals = 0;    ///< phase-1 scalar good-machine kernel
+  long lane_evals_64 = 0;   ///< WordN<1> backend (64 lanes)
+  long lane_evals_256 = 0;  ///< WordN<4> backend (256 lanes)
+  long lane_evals_512 = 0;  ///< WordN<8> backend (512 lanes)
+
+  void add(const KernelCounters& other) {
+    scalar_evals += other.scalar_evals;
+    lane_evals_64 += other.lane_evals_64;
+    lane_evals_256 += other.lane_evals_256;
+    lane_evals_512 += other.lane_evals_512;
+  }
+};
+
+}  // namespace gdf::sim

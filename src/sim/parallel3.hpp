@@ -1,94 +1,94 @@
-// Dual-rail parallel three-valued simulation: 64 independent machines per
-// pass. Used by FAUSIM to evaluate, in one sweep, the good machine together
-// with one faulty machine per fault-effect-carrying flip-flop (the paper's
-// phase-2 "stuck-at fault simulation" of the propagation sequence).
+// Dual-rail parallel three-valued simulation: 64*K independent machines
+// per pass. Used by FAUSIM to evaluate, in one sweep, the good machine
+// together with one faulty machine per fault-effect-carrying flip-flop
+// (the paper's phase-2 "stuck-at fault simulation" of the propagation
+// sequence).
 //
-// Encoding per line: bit k of `ones` set => machine k sees 1; bit k of
-// `zeros` set => machine k sees 0; neither => X. Both set is a bug.
-//
-// A thin Word3 instantiation of the shared flat kernel (sim/flat_circuit):
-// the same levelized loop as the scalar engine, 64 lanes per step.
+// A thin WordN<K> instantiation of the shared flat kernel
+// (sim/flat_circuit): the same levelized loop as the scalar engine, one
+// lane block per step. K is the compile-time plane count (sim/wordn.hpp);
+// ParallelSim3 is the classic 64-lane K=1 engine, and the wider rungs are
+// explicitly instantiated in parallel3.cpp so every translation unit
+// shares one copy of the kernel.
 #pragma once
 
-#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "base/error.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/flat_circuit.hpp"
 #include "sim/logic.hpp"
+#include "sim/wordn.hpp"
 
 namespace gdf::sim {
 
-struct Word3 {
-  std::uint64_t ones = 0;
-  std::uint64_t zeros = 0;
-};
+/// The classic one-word 64-lane form, kept as the canonical name.
+using Word3 = WordN<1>;
+using Word3Ops = WordNOps<1>;
 
-inline Word3 w3_const(Lv v, std::uint64_t lanes) {
-  Word3 w;
-  if (v == Lv::One) {
-    w.ones = lanes;
-  } else if (v == Lv::Zero) {
-    w.zeros = lanes;
-  }
-  return w;
-}
-
-inline Word3 w3_not(Word3 a) { return Word3{a.zeros, a.ones}; }
-
-inline Word3 w3_and(Word3 a, Word3 b) {
-  return Word3{a.ones & b.ones, a.zeros | b.zeros};
-}
-
-inline Word3 w3_or(Word3 a, Word3 b) {
-  return Word3{a.ones | b.ones, a.zeros & b.zeros};
-}
-
-inline Word3 w3_xor(Word3 a, Word3 b) {
-  return Word3{(a.ones & b.zeros) | (a.zeros & b.ones),
-               (a.ones & b.ones) | (a.zeros & b.zeros)};
-}
-
-/// Per-lane three-valued value extraction.
-Lv w3_lane(Word3 w, unsigned lane);
-
-/// 64-lane dual-rail instantiation of the flat kernel's Ops concept.
-struct Word3Ops {
-  using Value = Word3;
-
-  Word3 not_(Word3 a) const { return w3_not(a); }
-  Word3 and_(Word3 a, Word3 b) const { return w3_and(a, b); }
-  Word3 or_(Word3 a, Word3 b) const { return w3_or(a, b); }
-  Word3 xor_(Word3 a, Word3 b) const { return w3_xor(a, b); }
-};
-
-/// Levelized full-circuit evaluation over Word3 lanes.
-class ParallelSim3 {
+/// Levelized full-circuit evaluation over WordN<K> lane blocks.
+template <unsigned K>
+class ParallelSimN {
  public:
+  using Word = WordN<K>;
+
   /// Builds (and owns) a fresh flat form of the netlist.
-  explicit ParallelSim3(const net::Netlist& nl);
+  explicit ParallelSimN(const net::Netlist& nl)
+      : fc_(FlatCircuit::build(nl)) {}
   /// Shares an already-built flat form.
-  explicit ParallelSim3(std::shared_ptr<const FlatCircuit> fc);
+  explicit ParallelSimN(std::shared_ptr<const FlatCircuit> fc)
+      : fc_(std::move(fc)) {
+    GDF_ASSERT(fc_ != nullptr, "null flat circuit");
+  }
 
   const std::shared_ptr<const FlatCircuit>& flat() const { return fc_; }
 
-  /// Evaluates one settled frame. `pis` and `state` are per-line Word3
-  /// boundary values (inputs in Netlist::inputs() order, state in dffs()
-  /// order). Fills `line_values` (resized to gate count).
-  void eval_frame(std::span<const Word3> pis, std::span<const Word3> state,
-                  std::vector<Word3>& line_values) const;
+  /// Evaluates one settled frame. `pis` and `state` are per-line boundary
+  /// words (inputs in Netlist::inputs() order, state in dffs() order).
+  /// Fills `line_values` (resized to gate count).
+  void eval_frame(std::span<const Word> pis, std::span<const Word> state,
+                  std::vector<Word>& line_values) const {
+    const FlatCircuit& fc = *fc_;
+    GDF_ASSERT(pis.size() == fc.inputs().size(), "PI word count mismatch");
+    GDF_ASSERT(state.size() == fc.dffs().size(), "state word count mismatch");
+    line_values.assign(fc.line_count(), Word{});
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      line_values[fc.inputs()[i]] = pis[i];
+    }
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      line_values[fc.dffs()[i]] = state[i];
+    }
+    eval_flat(fc, WordNOps<K>{}, line_values.data());
+  }
 
   /// Next-state words (value at each DFF data pin).
-  std::vector<Word3> next_state(std::span<const Word3> line_values) const;
+  std::vector<Word> next_state(std::span<const Word> line_values) const {
+    std::vector<Word> next;
+    next_state(line_values, next);
+    return next;
+  }
 
   /// In-place variant: fills `next` without allocating per frame.
-  void next_state(std::span<const Word3> line_values,
-                  std::vector<Word3>& next) const;
+  void next_state(std::span<const Word> line_values,
+                  std::vector<Word>& next) const {
+    const std::span<const net::GateId> taps = fc_->dff_data();
+    next.resize(taps.size());
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+      next[i] = line_values[taps[i]];
+    }
+  }
 
  private:
   std::shared_ptr<const FlatCircuit> fc_;
 };
+
+extern template class ParallelSimN<1>;
+extern template class ParallelSimN<4>;
+extern template class ParallelSimN<8>;
+
+/// The classic 64-lane engine.
+using ParallelSim3 = ParallelSimN<1>;
 
 }  // namespace gdf::sim

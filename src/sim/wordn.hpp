@@ -1,0 +1,129 @@
+// Block-templated dual-rail words: 64*K independent three-valued machines
+// per value, as K parallel uint64 planes per rail. Bit b of plane p (lane
+// 64*p + b) of `ones` set => that machine sees 1; of `zeros` => 0; neither
+// => X. Both set is a bug.
+//
+// WordN<1> is the classic one-word 64-lane form (aliased as Word3);
+// WordN<4>/WordN<8> are the 256-/512-lane rungs of the ladder. The rail
+// operators are plain per-plane loops over fixed K, so -O3 autovectorizes
+// them to whatever width the target ISA offers (SSE2/AVX2/AVX-512) with a
+// single source of truth — no per-width op definitions to drift.
+#pragma once
+
+#include <cstdint>
+
+#include "base/error.hpp"
+#include "sim/logic.hpp"
+
+namespace gdf::sim {
+
+template <unsigned K>
+struct WordN {
+  static_assert(K >= 1, "at least one 64-lane plane");
+  static constexpr unsigned kPlanes = K;
+  static constexpr unsigned kLanes = 64 * K;
+
+  std::uint64_t ones[K] = {};
+  std::uint64_t zeros[K] = {};
+};
+
+template <unsigned K>
+inline WordN<K> wn_not(const WordN<K>& a) {
+  WordN<K> r;
+  for (unsigned p = 0; p < K; ++p) {
+    r.ones[p] = a.zeros[p];
+    r.zeros[p] = a.ones[p];
+  }
+  return r;
+}
+
+template <unsigned K>
+inline WordN<K> wn_and(const WordN<K>& a, const WordN<K>& b) {
+  WordN<K> r;
+  for (unsigned p = 0; p < K; ++p) {
+    r.ones[p] = a.ones[p] & b.ones[p];
+    r.zeros[p] = a.zeros[p] | b.zeros[p];
+  }
+  return r;
+}
+
+template <unsigned K>
+inline WordN<K> wn_or(const WordN<K>& a, const WordN<K>& b) {
+  WordN<K> r;
+  for (unsigned p = 0; p < K; ++p) {
+    r.ones[p] = a.ones[p] | b.ones[p];
+    r.zeros[p] = a.zeros[p] & b.zeros[p];
+  }
+  return r;
+}
+
+template <unsigned K>
+inline WordN<K> wn_xor(const WordN<K>& a, const WordN<K>& b) {
+  WordN<K> r;
+  for (unsigned p = 0; p < K; ++p) {
+    r.ones[p] = (a.ones[p] & b.zeros[p]) | (a.zeros[p] & b.ones[p]);
+    r.zeros[p] = (a.ones[p] & b.ones[p]) | (a.zeros[p] & b.zeros[p]);
+  }
+  return r;
+}
+
+/// The same value in every lane (X, D and Dbar leave both rails clear —
+/// only definite binary values exist lane-wise).
+template <unsigned K>
+inline WordN<K> wn_broadcast(Lv v) {
+  WordN<K> w;
+  for (unsigned p = 0; p < K; ++p) {
+    if (v == Lv::One) {
+      w.ones[p] = ~std::uint64_t{0};
+    } else if (v == Lv::Zero) {
+      w.zeros[p] = ~std::uint64_t{0};
+    }
+  }
+  return w;
+}
+
+/// Overwrites one lane (both rails cleared first).
+template <unsigned K>
+inline void wn_set_lane(WordN<K>& w, unsigned lane, Lv v) {
+  GDF_ASSERT(lane < WordN<K>::kLanes, "lane out of range");
+  const unsigned p = lane / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (lane % 64);
+  w.ones[p] &= ~bit;
+  w.zeros[p] &= ~bit;
+  if (v == Lv::One) {
+    w.ones[p] |= bit;
+  } else if (v == Lv::Zero) {
+    w.zeros[p] |= bit;
+  }
+}
+
+/// Per-lane three-valued value extraction.
+template <unsigned K>
+inline Lv wn_lane(const WordN<K>& w, unsigned lane) {
+  GDF_ASSERT(lane < WordN<K>::kLanes, "lane out of range");
+  const unsigned p = lane / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (lane % 64);
+  const bool one = (w.ones[p] & bit) != 0;
+  const bool zero = (w.zeros[p] & bit) != 0;
+  GDF_ASSERT(!(one && zero), "corrupt dual-rail word");
+  if (one) {
+    return Lv::One;
+  }
+  if (zero) {
+    return Lv::Zero;
+  }
+  return Lv::X;
+}
+
+/// 64*K-lane dual-rail instantiation of the flat kernel's Ops concept.
+template <unsigned K>
+struct WordNOps {
+  using Value = WordN<K>;
+
+  Value not_(const Value& a) const { return wn_not(a); }
+  Value and_(const Value& a, const Value& b) const { return wn_and(a, b); }
+  Value or_(const Value& a, const Value& b) const { return wn_or(a, b); }
+  Value xor_(const Value& a, const Value& b) const { return wn_xor(a, b); }
+};
+
+}  // namespace gdf::sim

@@ -165,8 +165,10 @@ std::vector<bool> Tdsim::detect_cpt(
 
   // One descending pass interleaves the chain composition with the stem
   // corrections: both only ever read marks of higher-id nodes. Stems batch
-  // into one packed sweep (two polarities each, four stems per sweep);
-  // a batch flushes early whenever a mark it would feed is needed.
+  // into one packed sweep (two polarities each, so half the packed lane
+  // capacity in stems per sweep); a batch flushes early whenever a mark it
+  // would feed is needed.
+  const std::size_t stems_per_sweep = sim_.packed_lane_capacity() / 2;
   struct PendingStem {
     NodeId stem;
     NodeId dom;
@@ -185,7 +187,8 @@ std::vector<bool> Tdsim::detect_cpt(
       lanes.push_back({p.stem, alg::vset_of(V8::FallC), p.dom});
     }
     stop_values.assign(lanes.size(), kEmptySet);
-    const unsigned mask = sim_.forced_sweep(fault_free, lanes, stop_values);
+    const std::uint64_t mask =
+        sim_.forced_sweep(fault_free, lanes, stop_values);
     // Fill order is descending, so a dominator that is itself a pending
     // stem (always of higher id, hence added earlier) resolves before any
     // stem it dominates reads its marks.
@@ -222,7 +225,7 @@ std::vector<bool> Tdsim::detect_cpt(
       // dominates.
       pending.push_back({id, model_->idom(id)});
       stem_pending[id] = true;
-      if (pending.size() == 4) {
+      if (pending.size() == stems_per_sweep) {
         flush();
       }
       continue;

@@ -1,0 +1,69 @@
+# End-to-end lane-width determinism on the gdf_atpg binary: the CSV a
+# sweep emits must be byte-identical at every simulation backend width
+# (--lanes 64/256/512), including when combined with worker parallelism
+# and intra-circuit fault sharding — lane count is a pure throughput knob
+# and must never leak into results. Registered by tests/CMakeLists.txt:
+#   * cli_lanes_determinism       — SCOPE=full: the whole catalog at the
+#                                   paper configuration, each width, plus
+#                                   a sharded parallel variant;
+#   * cli_lanes_determinism_small — SCOPE=small: two mid-size circuits,
+#                                   cheap enough for sanitizer CI jobs.
+#
+# Usage: cmake -DGDF_ATPG=<path> -DSCOPE=<full|small> -P check_lanes_determinism.cmake
+
+if(SCOPE STREQUAL "small")
+  set(sweep_args --circuit s298 --circuit s344 --csv --no-seconds)
+  set(vary_args --jobs 2 --shard-epoch 5 --shard-faults 4)
+else()
+  set(sweep_args --all --csv --no-seconds)
+  set(vary_args --jobs 2 --shard-faults 4)
+endif()
+
+execute_process(
+  COMMAND ${GDF_ATPG} ${sweep_args} --lanes 64
+  OUTPUT_VARIABLE base_out
+  RESULT_VARIABLE base_rc)
+if(NOT base_rc EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg --lanes 64 failed (rc=${base_rc})")
+endif()
+string(LENGTH "${base_out}" out_len)
+if(out_len EQUAL 0)
+  message(FATAL_ERROR "gdf_atpg produced no output")
+endif()
+
+foreach(width 256 512)
+  execute_process(
+    COMMAND ${GDF_ATPG} ${sweep_args} --lanes ${width}
+    OUTPUT_VARIABLE wide_out
+    RESULT_VARIABLE wide_rc)
+  if(NOT wide_rc EQUAL 0)
+    message(FATAL_ERROR "gdf_atpg --lanes ${width} failed (rc=${wide_rc})")
+  endif()
+  if(NOT base_out STREQUAL wide_out)
+    message(FATAL_ERROR "--lanes 64 and --lanes ${width} output differs:\n"
+                        "=== 64 ===\n${base_out}\n"
+                        "=== ${width} ===\n${wide_out}")
+  endif()
+endforeach()
+
+# Widths must also commute with worker parallelism and fault sharding.
+foreach(width 64 512)
+  execute_process(
+    COMMAND ${GDF_ATPG} ${sweep_args} ${vary_args} --lanes ${width}
+    OUTPUT_VARIABLE sharded_out
+    RESULT_VARIABLE sharded_rc)
+  if(NOT sharded_rc EQUAL 0)
+    message(FATAL_ERROR
+      "gdf_atpg sharded --lanes ${width} failed (rc=${sharded_rc})")
+  endif()
+  if(NOT base_out STREQUAL sharded_out)
+    message(FATAL_ERROR
+      "sharded --lanes ${width} differs from the serial 64-lane run:\n"
+      "=== serial 64 ===\n${base_out}\n"
+      "=== sharded ${width} ===\n${sharded_out}")
+  endif()
+endforeach()
+
+message(STATUS
+  "lanes 64/256/512 (serial and sharded) byte-identical "
+  "(${SCOPE}, ${out_len} bytes)")

@@ -9,6 +9,7 @@
 #include "cli/args.hpp"
 #include "core/delay_atpg.hpp"
 #include "netlist/bench_io.hpp"
+#include "sim/lanes.hpp"
 
 namespace gdf::cli {
 namespace {
@@ -50,6 +51,36 @@ TEST(ArgsTest, UsageMentionsNewFlags) {
   EXPECT_NE(text.find("--bench-dir"), std::string::npos);
   EXPECT_NE(text.find("--shard-faults"), std::string::npos);
   EXPECT_NE(text.find("--shard-epoch"), std::string::npos);
+  EXPECT_NE(text.find("--lanes"), std::string::npos);
+  EXPECT_NE(text.find("--adi-sequences"), std::string::npos);
+}
+
+TEST(ArgsTest, LaneWidthChoices) {
+  using sim::LaneSpec;
+  EXPECT_EQ(parse({"--all"}).atpg.lanes.width, LaneSpec::Width::Auto);
+  EXPECT_EQ(parse({"--all", "--lanes", "auto"}).atpg.lanes.width,
+            LaneSpec::Width::Auto);
+  EXPECT_EQ(parse({"--all", "--lanes", "64"}).atpg.lanes.width,
+            LaneSpec::Width::W64);
+  EXPECT_EQ(parse({"--all", "--lanes", "256"}).atpg.lanes.width,
+            LaneSpec::Width::W256);
+  EXPECT_EQ(parse({"--all", "--lanes", "512"}).atpg.lanes.width,
+            LaneSpec::Width::W512);
+  EXPECT_THROW(parse({"--all", "--lanes", "128"}), Error);
+  EXPECT_THROW(parse({"--all", "--lanes", "wide"}), Error);
+  // Every explicit width resolves to itself; auto resolves to a real one.
+  EXPECT_EQ(sim::resolve_lane_count({LaneSpec::Width::W64}), 64u);
+  EXPECT_EQ(sim::resolve_lane_count({LaneSpec::Width::W256}), 256u);
+  EXPECT_EQ(sim::resolve_lane_count({LaneSpec::Width::W512}), 512u);
+  const unsigned probed = sim::resolve_lane_count({});
+  EXPECT_TRUE(probed == 64 || probed == 256 || probed == 512);
+}
+
+TEST(ArgsTest, AdiSequenceBudget) {
+  EXPECT_EQ(parse({"--all"}).atpg.adi_sequences, 8);
+  EXPECT_EQ(parse({"--all", "--adi-sequences", "16"}).atpg.adi_sequences, 16);
+  EXPECT_THROW(parse({"--all", "--adi-sequences", "0"}), Error);
+  EXPECT_THROW(parse({"--all", "--adi-sequences", "-3"}), Error);
 }
 
 TEST(ArgsTest, ShardFlags) {
