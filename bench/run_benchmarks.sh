@@ -54,8 +54,9 @@ fi
 # Intra-circuit fault sharding on the two catalog tails (ISSUE 4): the
 # same two big circuits, sequential versus epoch-sharded generation. The
 # rows must match byte-for-byte; the wall-time ratio is the shard
-# speedup. On a single core the forced shard degenerates to the
-# sequential path, so the ratio records ~1 by construction.
+# speedup. On a single core JOBS is 1, a forced width of 1 is gated down
+# to the plain sequential loop (no epoch machinery), and the ratio
+# records ~1 by construction.
 BIG="--circuit s1196 --circuit s1238"
 echo "run_benchmarks: s1196+s1238 with --shard-faults off ..." >&2
 T3=$(date +%s.%N)
@@ -171,6 +172,11 @@ search_core = {
     "probe_runs": 0,
     "probe_cone": 0,
     "probe_full": 0,
+    "conflicts": 0,
+    "learned_clauses": 0,
+    "clause_hits": 0,
+    "backjump_levels_skipped": 0,
+    "probe_memo_hits": 0,
 }
 for m in re.finditer(
         r"search core\s+implications (\d+), trail pushes (\d+), pops (\d+)",
@@ -184,6 +190,18 @@ for m in re.finditer(
     search_core["probe_runs"] += int(m.group(1))
     search_core["probe_cone"] += int(m.group(2))
     search_core["probe_full"] += int(m.group(3))
+# Conflict-driven-search counters (the learning PR): how often the engine
+# conflicted, what it learned, and what the learning saved.
+for m in re.finditer(
+        r"conflict learning\s+conflicts (\d+), learned (\d+), "
+        r"clause hits (\d+), backjump levels skipped (\d+)",
+        stages_text):
+    search_core["conflicts"] += int(m.group(1))
+    search_core["learned_clauses"] += int(m.group(2))
+    search_core["clause_hits"] += int(m.group(3))
+    search_core["backjump_levels_skipped"] += int(m.group(4))
+for m in re.finditer(r"probe memo\s+hits (\d+)", stages_text):
+    search_core["probe_memo_hits"] += int(m.group(1))
 
 # Simulation-kernel counters (the backend PR): which backend ran and how
 # many gate evaluations each lane width performed over the tail circuits.
@@ -250,6 +268,12 @@ report = {
         round(big_off / big_shard, 2) if big_shard > 0 else None,
     # ISSUE-5 search-core counters over the s1196+s1238 sequential run.
     "search_core_s1196_s1238": search_core,
+    # Aborted faults per circuit plus the catalog total (the learning PR's
+    # effectiveness metric: learning may only shrink these).
+    "aborted_faults": {
+        **{row["circuit"]: row["aborted"] for row in circuits},
+        "total": sum(row["aborted"] for row in circuits),
+    },
     # The backend PR: active backend plus per-width kernel eval counts
     # over the same run, the WordN<K> micro ladder, and the ADI ordering
     # sampling-budget trade-off.

@@ -1,0 +1,35 @@
+#include "base/clause_arena.hpp"
+
+#include <cassert>
+
+namespace gdf::base {
+
+std::size_t ClauseArena::add(std::span<const ClauseLit> lits) {
+  assert(!lits.empty() && "a clause needs at least one literal");
+  if (lits.empty()) return kNone;
+  const std::size_t index = size();
+  pool_.insert(pool_.end(), lits.begin(), lits.end());
+  offsets_.push_back(pool_.size());
+  return index;
+}
+
+void ClauseStore::publish(SharedClause clause) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Copy-on-write append: readers keep whatever snapshot they grabbed.
+  auto next = clauses_ ? std::make_shared<std::vector<SharedClause>>(*clauses_)
+                       : std::make_shared<std::vector<SharedClause>>();
+  next->push_back(std::move(clause));
+  clauses_ = std::move(next);
+}
+
+ClauseStore::Snapshot ClauseStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clauses_;
+}
+
+std::size_t ClauseStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clauses_ ? clauses_->size() : 0;
+}
+
+}  // namespace gdf::base

@@ -1,0 +1,91 @@
+// Flat arena for learned blocking implicates ("clauses") over value-set
+// literals, plus the context-keyed store for fault-independent clauses.
+//
+// A clause is a nogood: a conjunction of containment facts
+//   sets[node_i] ⊆ allowed_i   for every literal i
+// that is known to admit no consistent execution. The implication engine
+// watches two not-yet-true literals per clause; when every literal's
+// containment holds mid-propagation, the engine may declare the conflict
+// immediately instead of narrowing on toward the empty set the fixpoint
+// would provably reach (propagation rules are monotone, so a state
+// satisfying all leaf facts of a conflict derivation re-derives the
+// conflict). Clauses therefore only shortcut work — they never change
+// which states are conflicted.
+//
+// The arena is a flat pool (literals back to back, offset-indexed
+// headers) so a search's clause set stays cache-dense and is cheap to
+// copy into a re-entry search over the same fault.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "algebra/model.hpp"
+#include "algebra/value_set.hpp"
+
+namespace gdf::base {
+
+/// One containment fact: true in an engine state iff
+/// sets[node] ⊆ allowed, i.e. (sets[node] & ~allowed) == 0.
+struct ClauseLit {
+  alg::NodeId node = 0;
+  alg::VSet allowed = 0;
+};
+
+/// Flat clause pool. Clauses are append-only; an index identifies a
+/// clause for the watch lists. Copyable (re-entry searches seed from the
+/// base search's arena).
+class ClauseArena {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// Appends a clause; rejects empty input. Returns its index.
+  std::size_t add(std::span<const ClauseLit> lits);
+
+  std::size_t size() const { return offsets_.size() - 1; }
+
+  std::span<const ClauseLit> lits(std::size_t clause) const {
+    return {pool_.data() + offsets_[clause],
+            offsets_[clause + 1] - offsets_[clause]};
+  }
+
+ private:
+  std::vector<ClauseLit> pool_;
+  /// size()+1 offsets into pool_ (offsets_[0] == 0 always).
+  std::vector<std::size_t> offsets_ = {0};
+};
+
+/// A clause proven without reference to any fault site: literals are its
+/// complete leaf facts, `footprint` every node whose implication rule the
+/// derivation ran through (sorted). A consumer fault may use the clause
+/// only when its own site is outside the footprint — at the site the gate
+/// rule is replaced by the fault transform, invalidating the derivation.
+struct SharedClause {
+  std::vector<ClauseLit> lits;
+  std::vector<alg::NodeId> footprint;
+};
+
+/// Cross-fault clause store, keyed on the shared CircuitContext (one per
+/// algebra mode). Thread-safe: publishers append under the mutex,
+/// consumers grab an immutable snapshot. Which snapshot a consumer sees
+/// depends on scheduling, so consumption is opt-in (--learn shared) and
+/// documented as trading byte-stability across worker counts for speed.
+class ClauseStore {
+ public:
+  using Snapshot = std::shared_ptr<const std::vector<SharedClause>>;
+
+  void publish(SharedClause clause);
+  /// The current clause set (possibly null when nothing was published).
+  Snapshot snapshot() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot clauses_;
+};
+
+}  // namespace gdf::base

@@ -113,6 +113,20 @@ DriverConfig parse_args(int argc, const char* const* argv) {
       const int limit = parse_int(arg, value_of(i, arg));
       config.atpg.local.decision_limit = limit;
       config.atpg.sequential.decision_limit = limit;
+    } else if (arg == "--learn") {
+      const std::string mode = value_of(i, arg);
+      if (mode == "on") {
+        config.atpg.learn = core::LearnMode::On;
+      } else if (mode == "off") {
+        config.atpg.learn = core::LearnMode::Off;
+      } else if (mode == "shared") {
+        config.atpg.learn = core::LearnMode::Shared;
+      } else {
+        throw Error("--learn expects 'on', 'off' or 'shared', got '" + mode +
+                    "'");
+      }
+    } else if (arg == "--learned-limit") {
+      config.atpg.learned_limit = parse_int(arg, value_of(i, arg));
     } else if (arg == "--per-fault-seconds") {
       config.atpg.per_fault_seconds = parse_seconds(arg, value_of(i, arg));
     } else if (arg == "--seed") {
@@ -263,6 +277,16 @@ std::string usage() {
       "      --seq-backtracks N     SEMILET abort limit      [100]\n"
       "      --decision-limit N     safety net, both engines [200000]\n"
       "      --per-fault-seconds S  wall-clock cap per fault [off]\n"
+      "      --learn MODE        conflict-driven learning in the two-frame\n"
+      "                          search: 'on' (per-fault clause learning +\n"
+      "                          non-chronological backjumping + probe\n"
+      "                          memo, deterministic at any worker count,\n"
+      "                          default), 'off' (chronological search,\n"
+      "                          pre-learning bytes), or 'shared' (also\n"
+      "                          exchange fault-independent clauses across\n"
+      "                          faults; fastest, but rows may differ\n"
+      "                          across --jobs/--shard-faults)\n"
+      "      --learned-limit N   learned clauses kept per fault [512]\n"
       "      --seed N            RNG seed for X-fill         [1995]\n"
       "      --no-fault-dropping disable dropping via fault simulation\n"
       "      --no-branch-faults  gate outputs only, no fanout branches\n"

@@ -229,6 +229,18 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
   semilet::Budget budget(options_.sequential);
   tdgen::TdgenOptions local_options = options_.local;
   local_options.tally = &tally_scope.tally;
+  local_options.learn = options_.learn != LearnMode::Off;
+  local_options.learned_limit = options_.learned_limit;
+  if (options_.learn == LearnMode::Shared) {
+    // Cross-fault clause exchange through the shared context (opt-in:
+    // which snapshot a fault sees depends on scheduling), and
+    // cheapest-cone-first don't-care lifting (opt-in: the reorder drifts
+    // the emitted patterns).
+    base::ClauseStore& store = ctx_->learned_clauses(options_.mode);
+    local_options.shared_consume = &store;
+    local_options.shared_publish = &store;
+    local_options.reorder_lifts = true;
+  }
   tdgen::TdgenSearch local_search(ctx_->model(), *algebra_, fault,
                                   local_options);
   LocalTest local;
@@ -324,11 +336,17 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
           relied.clear();
         }
         // Re-entries share the first search's sorted cone and post-init
-        // engine snapshot (same fault line) and report into the same
-        // tally.
+        // engine snapshot and report into the same tally. The base
+        // search's clauses would stay valid under the pins (they only
+        // narrow the level-0 state), but importing them measures as a net
+        // cost — re-entry trees are short and rarely revisit the base
+        // search's conflicts — so re-entries learn from scratch. They
+        // never publish to the shared store: their conflicts are
+        // conditioned on the pins.
         tdgen::TdgenOptions reentry_options = local_options;
         reentry_options.shared_cone = &local_search.sorted_cone();
         reentry_options.init_donor = &local_search.engine();
+        reentry_options.shared_publish = nullptr;
         tdgen::TdgenSearch reentry(ctx_->model(), *algebra_, fault,
                                    reentry_options);
         for (std::size_t k = 0; k < n_ff; ++k) {

@@ -14,6 +14,17 @@ namespace gdf::core {
 /// Phase-3 delay fault simulation engine (see tdsim/tdsim.hpp).
 enum class TdsimEngine : std::uint8_t { Cpt, Exact };
 
+/// Conflict-driven learning in the two-frame search (--learn).
+///
+/// On (default) keeps every learned clause private to its fault, which
+/// preserves byte-determinism at any worker count: each per-fault search
+/// stays a pure function of (context, fault, options). Shared additionally
+/// consumes fault-independent clauses published by other faults through
+/// the CircuitContext — faster on abort-heavy circuits, but the snapshot a
+/// fault sees depends on scheduling, so rows may legitimately differ
+/// across --jobs/--shard-faults (same caveat as --per-fault-seconds).
+enum class LearnMode : std::uint8_t { Off, On, Shared };
+
 struct AtpgOptions {
   /// Robust (paper) or non-robust (§7 outlook / ablation) algebra.
   alg::Mode mode = alg::Mode::Robust;
@@ -52,6 +63,16 @@ struct AtpgOptions {
   /// batched TDsim simulates to rank the faults. More sequences sharpen
   /// the ranking at a linear cost in ordering time.
   int adi_sequences = 8;
+
+  /// Conflict-driven learning mode for the two-frame search. Off
+  /// reproduces the pre-learning search byte-for-byte (chronological
+  /// backtracking, no clause database, no probe memo); On and Shared are
+  /// documented on LearnMode. Enters the sweep memo keys: different learn
+  /// settings never share untestable-fault memo groups.
+  LearnMode learn = LearnMode::On;
+
+  /// Cap on learned clauses per fault search (--learned-limit).
+  int learned_limit = 512;
 
   /// Seed for the random X-fill performed before fault simulation.
   std::uint64_t fill_seed = 1995;

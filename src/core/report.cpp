@@ -62,9 +62,14 @@ std::string format_stage_stats(const StageStats& s) {
      << "  search core            implications "
      << s.search.implication_assigns << ", trail pushes "
      << s.search.trail_pushes << ", pops " << s.search.trail_pops << "\n"
+     << "  conflict learning      conflicts " << s.search.conflicts
+     << ", learned " << s.search.learned << ", clause hits "
+     << s.search.clause_hits << ", backjump levels skipped "
+     << s.search.backjump_levels_skipped << "\n"
      << "  verification probes    " << s.search.probe_runs
      << " (cone-scoped " << s.search.probe_cone << ", full "
      << s.search.probe_full << ")\n"
+     << "  probe memo             hits " << s.search.probe_memo_hits << "\n"
      << "  sim kernel evals       scalar " << s.sim.scalar_evals
      << ", w64 " << s.sim.lane_evals_64 << ", w256 "
      << s.sim.lane_evals_256 << ", w512 " << s.sim.lane_evals_512;

@@ -50,6 +50,12 @@ unsigned shard_workers(const ShardConfig& config, const ThreadPool& pool,
     case ShardConfig::Policy::Off:
       return 0;
     case ShardConfig::Policy::Forced:
+      // A forced width of 1 degenerates to the sequential loop plus the
+      // epoch/barrier machinery — same bytes, pure overhead. Run the
+      // plain loop instead.
+      if (config.workers <= 1) {
+        return 0;
+      }
       return config.workers;
     case ShardConfig::Policy::Auto:
       // Sharding never changes the bytes, but with a per-fault wall-clock

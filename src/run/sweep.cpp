@@ -79,6 +79,11 @@ struct GenerationKey {
   int seq_sync_frames;
   long seq_decisions;
   double per_fault_seconds;
+  // Learning changes which faults abort (and under --learn shared even
+  // the verdict bytes), so cells with different learn settings must not
+  // share an untestable memo.
+  core::LearnMode learn;
+  int learned_limit;
 
   explicit GenerationKey(const core::AtpgOptions& o)
       : structure(o),
@@ -89,7 +94,9 @@ struct GenerationKey {
         seq_prop_frames(o.sequential.max_propagation_frames),
         seq_sync_frames(o.sequential.max_sync_frames),
         seq_decisions(o.sequential.decision_limit),
-        per_fault_seconds(o.per_fault_seconds) {}
+        per_fault_seconds(o.per_fault_seconds),
+        learn(o.learn),
+        learned_limit(o.learned_limit) {}
 
   bool operator==(const GenerationKey&) const = default;
 };

@@ -146,14 +146,23 @@ bool FramePodem::hopeless() const {
     return false;
   }
   // ObserveFault: X-path check — some D/D' line must reach an observation
-  // point through X-valued lines. Scratch buffers are members: this runs
-  // every search iteration.
-  seen_.assign(nl_->size(), 0);
+  // point through X-valued lines. Scratch buffers are members and the
+  // visited set is epoch-stamped: this runs every search iteration, and
+  // re-zeroing the whole vector would cost O(circuit) per call while the
+  // walk itself usually touches a handful of lines.
+  if (seen_.size() != nl_->size()) {
+    seen_.assign(nl_->size(), 0);
+    seen_epoch_ = 0;
+  }
+  if (++seen_epoch_ == 0) {  // wrapped: stale stamps could collide
+    std::fill(seen_.begin(), seen_.end(), 0);
+    seen_epoch_ = 1;
+  }
   bfs_.clear();
   for (GateId id = 0; id < nl_->size(); ++id) {
     if (sim::is_fault_effect(lines_[id])) {
       bfs_.push_back(id);
-      seen_[id] = 1;
+      seen_[id] = seen_epoch_;
     }
   }
   if (bfs_.empty()) {
@@ -172,12 +181,13 @@ bool FramePodem::hopeless() const {
       return false;
     }
     for (const GateId reader : nl_->gate(id).fanout) {
-      if (seen_[reader] != 0 || nl_->gate(reader).type == GateType::Dff) {
+      if (seen_[reader] == seen_epoch_ ||
+          nl_->gate(reader).type == GateType::Dff) {
         continue;
       }
       const Lv v = lines_[reader];
       if (v == Lv::X || sim::is_fault_effect(v)) {
-        seen_[reader] = 1;
+        seen_[reader] = seen_epoch_;
         bfs_.push_back(reader);
       }
     }

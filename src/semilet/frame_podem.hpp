@@ -102,7 +102,9 @@ class FramePodem {
   sim::BitQueue work_;
   bool lines_ready_ = false;
   /// Reused X-path scratch (hopeless() runs every search iteration).
-  mutable std::vector<std::uint8_t> seen_;
+  /// seen_ is epoch-stamped so a call costs O(reached), not O(circuit).
+  mutable std::vector<std::uint32_t> seen_;
+  mutable std::uint32_t seen_epoch_ = 0;
   mutable std::vector<net::GateId> bfs_;
   bool started_ = false;
   bool aborted_ = false;

@@ -1,5 +1,6 @@
 #include "tdgen/implication.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "base/error.hpp"
@@ -46,6 +47,9 @@ ImplicationEngine::ImplicationEngine(const alg::AtpgModel& model,
       full_fixpoint_(full_fixpoint) {
   sets_.assign(model.node_count(), kFullSet);
   pending_.assign(model.node_count(), 0);
+  in_cone_.assign(model.node_count(), 0);
+  watches_.assign(model.node_count(), {});
+  mark_epoch_.assign(model.node_count(), 0);
 }
 
 void ImplicationEngine::init(const alg::FaultSpec& fault) {
@@ -54,12 +58,20 @@ void ImplicationEngine::init(const alg::FaultSpec& fault) {
   level_marks_.clear();
   clear_queue();
   conflict_ = false;
+  conflict_node_ = kNoNode;
+  conflict_clause_ = base::ClauseArena::kNone;
+  arena_ = {};
+  watch_pos_.clear();
+  for (auto& w : watches_) {
+    w.clear();
+  }
+  watching_ = false;
 
-  std::vector<bool> in_cone(model_->node_count(), false);
+  in_cone_.assign(model_->node_count(), 0);
   site_chain_.clear();
   if (fault.site != kNoNode) {
     for (const NodeId id : model_->carrier_cone(fault.site)) {
-      in_cone[id] = true;
+      in_cone_[id] = 1;
     }
     // The site's dominator chain: every observation path passes each of
     // these, so a carrier-free chain node proves unobservability.
@@ -71,7 +83,7 @@ void ImplicationEngine::init(const alg::FaultSpec& fault) {
   for (NodeId id = 0; id < model_->node_count(); ++id) {
     const Node& n = model_->node(id);
     VSet s = n.source() ? kPrimaryDomain : kFullSet;
-    if (!in_cone[id]) {
+    if (!in_cone_[id]) {
       s &= kCleanSet;
     } else if (id == fault.site) {
       s = alg::DelayAlgebra::site_transform(s, fault.slow_to_rise);
@@ -98,7 +110,16 @@ bool ImplicationEngine::init_from(const ImplicationEngine& donor,
   clear_queue();
   sets_ = donor.init_sets_;
   conflict_ = donor.init_conflict_;
+  conflict_node_ = kNoNode;
+  conflict_clause_ = base::ClauseArena::kNone;
+  arena_ = {};
+  watch_pos_.clear();
+  for (auto& w : watches_) {
+    w.clear();
+  }
+  watching_ = false;
   site_chain_ = donor.site_chain_;
+  in_cone_ = donor.in_cone_;
   init_sets_ = donor.init_sets_;
   init_conflict_ = donor.init_conflict_;
   init_ready_ = true;
@@ -110,7 +131,10 @@ bool ImplicationEngine::assign(NodeId n, VSet allowed) {
   if (conflict_) {
     return false;
   }
-  if (!narrow(n, static_cast<VSet>(sets_[n] & allowed))) {
+  // The trail records the assigned constraint (in the reason slot) so
+  // conflict analysis can recover the external fact "n ⊆ allowed".
+  if (!narrow(n, static_cast<VSet>(sets_[n] & allowed),
+              static_cast<NodeId>(allowed), Why::External)) {
     return false;
   }
   return propagate();
@@ -136,6 +160,8 @@ void ImplicationEngine::rollback(std::size_t m) {
   }
   clear_queue();
   conflict_ = false;
+  conflict_node_ = kNoNode;
+  conflict_clause_ = base::ClauseArena::kNone;
 }
 
 void ImplicationEngine::backtrack_level() {
@@ -149,21 +175,115 @@ void ImplicationEngine::pop_level() {
   level_marks_.pop_back();
 }
 
-bool ImplicationEngine::narrow(NodeId n, VSet next) {
+bool ImplicationEngine::narrow(NodeId n, VSet next, NodeId reason, Why why) {
   const VSet current = sets_[n];
   next &= current;
   if (next == current) {
     return true;
   }
-  trail_.push_back({n, current});
+  trail_.push_back({n, reason, current, why});
   ++counters_.trail_pushes;
   sets_[n] = next;
   if (next == kEmptySet) {
     conflict_ = true;
+    conflict_node_ = n;
+    conflict_clause_ = base::ClauseArena::kNone;
+    ++counters_.conflicts;
     return false;
   }
   mark_dirty(n);
+  // A narrowing can only turn clause literals true, so clauses watching n
+  // are the only ones that may have become fully satisfied (= fired).
+  // watching_ keeps the clause-free hot path (no learning, or nothing
+  // learned yet) from paying a random watch-list load per narrowing.
+  if (watching_ && !watches_[n].empty() && !check_watches(n)) {
+    return false;
+  }
   return true;
+}
+
+bool ImplicationEngine::check_watches(NodeId n) {
+  auto& wl = watches_[n];
+  for (std::size_t i = 0; i < wl.size();) {
+    const std::uint32_t c = wl[i];
+    auto& wp = watch_pos_[c];
+    const std::span<const base::ClauseLit> lits = arena_.lits(c);
+    const int slot = lits[wp[0]].node == n ? 0 : 1;
+    const std::uint32_t pos = wp[slot];
+    const std::uint32_t other = wp[1 - slot];
+    if (!lit_true(lits[pos])) {
+      ++i;
+      continue;
+    }
+    // This watch turned true: move it to a literal that is still false.
+    std::uint32_t repl = static_cast<std::uint32_t>(lits.size());
+    for (std::uint32_t k = 0; k < lits.size(); ++k) {
+      if (k != pos && k != other && !lit_true(lits[k])) {
+        repl = k;
+        break;
+      }
+    }
+    if (repl != lits.size()) {
+      wp[slot] = repl;
+      watches_[lits[repl].node].push_back(c);
+      wl[i] = wl.back();
+      wl.pop_back();
+      continue;
+    }
+    if (other != pos && !lit_true(lits[other])) {
+      // Degraded but covered: the other watch is now the clause's only
+      // false literal, so its node's narrowing will revisit the clause.
+      ++i;
+      continue;
+    }
+    // Every literal holds — the nogood fires.
+    conflict_ = true;
+    conflict_node_ = kNoNode;
+    conflict_clause_ = c;
+    ++counters_.conflicts;
+    ++counters_.clause_hits;
+    return false;
+  }
+  return true;
+}
+
+std::size_t ImplicationEngine::add_clause(
+    std::span<const base::ClauseLit> lits) {
+  // Pick two literals that are false in the current state (one suffices
+  // for a unit clause; none means the clause already fires here).
+  std::uint32_t a = static_cast<std::uint32_t>(lits.size());
+  std::uint32_t b = a;
+  for (std::uint32_t k = 0; k < lits.size(); ++k) {
+    if (lit_true(lits[k])) {
+      continue;
+    }
+    if (a == lits.size()) {
+      a = k;
+    } else {
+      b = k;
+      break;
+    }
+  }
+  if (a == lits.size()) {
+    return base::ClauseArena::kNone;
+  }
+  if (b == lits.size()) {
+    b = a;
+  }
+  const std::size_t index = arena_.add(lits);
+  watch_pos_.push_back({a, b});
+  watches_[lits[a].node].push_back(static_cast<std::uint32_t>(index));
+  if (b != a) {
+    watches_[lits[b].node].push_back(static_cast<std::uint32_t>(index));
+  }
+  watching_ = true;
+  return index;
+}
+
+void ImplicationEngine::import_clauses(const base::ClauseArena& src) {
+  for (std::size_t c = 0; c < src.size(); ++c) {
+    add_clause(src.lits(c));
+  }
 }
 
 void ImplicationEngine::add_pending(NodeId n, std::uint8_t bits) {
@@ -223,11 +343,13 @@ bool ImplicationEngine::apply_register_pair(std::size_t dff_index) {
   const NodeId ppi = model_->ppis()[dff_index];
   const NodeId ppo = model_->ppo_node(dff_index);
   const unsigned allowed_fins = alg::vset_initials(sets_[ppo]);
-  if (!narrow(ppi, alg::vset_with_final_in(sets_[ppi], allowed_fins))) {
+  if (!narrow(ppi, alg::vset_with_final_in(sets_[ppi], allowed_fins), ppo,
+              Why::RegPair)) {
     return false;
   }
   const unsigned allowed_inits = alg::vset_finals(sets_[ppi]);
-  return narrow(ppo, alg::vset_with_initial_in(sets_[ppo], allowed_inits));
+  return narrow(ppo, alg::vset_with_initial_in(sets_[ppo], allowed_inits),
+                ppi, Why::RegPair);
 }
 
 bool ImplicationEngine::process(NodeId id, std::uint8_t pend) {
@@ -239,7 +361,7 @@ bool ImplicationEngine::process(NodeId id, std::uint8_t pend) {
       if (is_site) {
         raw = alg::DelayAlgebra::site_transform(raw, fault_.slow_to_rise);
       }
-      if (!narrow(id, raw)) {
+      if (!narrow(id, raw, id, Why::Forward)) {
         return false;
       }
       // A forward narrowing re-marks this node kSelf; absorb it now so the
@@ -257,13 +379,13 @@ bool ImplicationEngine::process(NodeId id, std::uint8_t pend) {
     switch (kind) {
       case NodeKind::Buf:
         // The unary backward prune depends on the output set alone.
-        if ((pend & kSelf) != 0 && !narrow(in0, out_req)) {
+        if ((pend & kSelf) != 0 && !narrow(in0, out_req, id, Why::BwdIn)) {
           return false;
         }
         break;
       case NodeKind::Not:
         if ((pend & kSelf) != 0 &&
-            !narrow(in0, algebra_->set_not(out_req))) {
+            !narrow(in0, algebra_->set_not(out_req), id, Why::BwdIn)) {
           return false;
         }
         break;
@@ -277,13 +399,17 @@ bool ImplicationEngine::process(NodeId id, std::uint8_t pend) {
         // in0's prune reads (in1, out); in1's reads (in0, out). Run each
         // only when one of its operands changed.
         if ((pend & (kSelf | kIn1)) != 0 &&
-            !narrow(in0, algebra_->set_bwd_first(op, sets_[in0],
-                                                 sets_[in1], out_req))) {
+            !narrow(in0,
+                    algebra_->set_bwd_first(op, sets_[in0], sets_[in1],
+                                            out_req),
+                    id, Why::BwdIn)) {
           return false;
         }
         if ((pend & (kSelf | kIn0)) != 0 &&
-            !narrow(in1, algebra_->set_bwd_first(op, sets_[in1],
-                                                 sets_[in0], out_req))) {
+            !narrow(in1,
+                    algebra_->set_bwd_first(op, sets_[in1], sets_[in0],
+                                            out_req),
+                    id, Why::BwdIn)) {
           return false;
         }
         break;
@@ -301,6 +427,145 @@ bool ImplicationEngine::process(NodeId id, std::uint8_t pend) {
     }
   }
   return true;
+}
+
+bool ImplicationEngine::analyze(Analysis* out, SharedExtract* shared) {
+  out->lits.clear();
+  out->levels.clear();
+  out->cone_clean = false;
+  if (!conflict_ || level_marks_.empty()) {
+    return false;
+  }
+
+  ++analysis_epoch_;
+  const std::uint64_t epoch = analysis_epoch_;
+  marked_nodes_.clear();
+  bool cone_clean = true;
+  const auto mark = [&](NodeId n) {
+    if (n == kNoNode || mark_epoch_[n] == epoch) {
+      return;
+    }
+    mark_epoch_[n] = epoch;
+    marked_nodes_.push_back(n);
+    if (in_cone_[n]) {
+      cone_clean = false;
+    }
+  };
+  // Replace a narrowing by the facts its rule read. The narrowed node
+  // itself stays marked: its earlier entries (and ultimately its init
+  // value) are conjuncts of the value the rule consumed.
+  const auto resolve_rule = [&](const TrailEntry& e) {
+    switch (e.why) {
+      case Why::Forward:
+        mark(in0s_[e.node]);
+        mark(in1s_[e.node]);
+        break;
+      case Why::BwdIn: {
+        const NodeId g = e.reason;
+        mark(g);
+        const NodeKind kind = kinds_[g];
+        if (kind == NodeKind::And2 || kind == NodeKind::Or2 ||
+            kind == NodeKind::Xor2) {
+          mark(in0s_[g] == e.node ? in1s_[g] : in0s_[g]);
+        }
+        break;
+      }
+      case Why::RegPair:
+        mark(e.reason);
+        break;
+      case Why::External:
+        break;
+    }
+  };
+
+  // Seed with the conflict's cause: the emptied node, or every literal of
+  // the fired clause.
+  if (conflict_clause_ != base::ClauseArena::kNone) {
+    for (const base::ClauseLit& lit : arena_.lits(conflict_clause_)) {
+      mark(lit.node);
+    }
+  } else {
+    GDF_ASSERT(conflict_node_ != kNoNode, "conflict without a cause");
+    mark(conflict_node_);
+  }
+
+  // Walk the decision-level trail segment top-down. Marked external
+  // entries are the decision constraints the conflict rests on; marked
+  // rule entries dissolve into their antecedents. (A linear scan beats a
+  // per-node index here: segment entries stream sequentially and the
+  // mark-epoch probe hits L2, where worklist variants chase pointers.)
+  level_flags_.assign(level_marks_.size() + 1, 0);
+  std::size_t lvl = level_marks_.size();
+  const std::size_t stop = level_marks_[0];
+  for (std::size_t i = trail_.size(); i-- > stop;) {
+    const TrailEntry& e = trail_[i];
+    while (lvl > 0 && i < level_marks_[lvl - 1]) {
+      --lvl;
+    }
+    if (mark_epoch_[e.node] != epoch) {
+      continue;
+    }
+    if (e.why == Why::External) {
+      out->lits.push_back({e.node, static_cast<VSet>(e.reason)});
+      level_flags_[lvl] = 1;
+    } else {
+      resolve_rule(e);
+    }
+  }
+  for (std::size_t l = 1; l < level_flags_.size(); ++l) {
+    if (level_flags_[l] != 0) {
+      out->levels.push_back(static_cast<std::uint32_t>(l));
+    }
+  }
+  // Same-node literals conjoin: keep one literal with the intersection.
+  std::sort(out->lits.begin(), out->lits.end(),
+            [](const base::ClauseLit& a, const base::ClauseLit& b) {
+              return a.node < b.node;
+            });
+  std::size_t w = 0;
+  for (const base::ClauseLit& lit : out->lits) {
+    if (w > 0 && out->lits[w - 1].node == lit.node) {
+      out->lits[w - 1].allowed &= lit.allowed;
+    } else {
+      out->lits[w++] = lit;
+    }
+  }
+  out->lits.resize(w);
+
+  if (shared != nullptr) {
+    // Continue through the level-0 segment so the derivation bottoms out
+    // at explicit leaf facts instead of this fault's implicit level-0
+    // state. Level-0 externals (activation, pins, required observation)
+    // become leaf literals — in practice they sit in the cone and veto
+    // sharing via cone_clean.
+    shared->leaf_lits.clear();
+    shared->footprint.clear();
+    for (std::size_t i = stop; i-- > 0;) {
+      const TrailEntry& e = trail_[i];
+      if (mark_epoch_[e.node] != epoch) {
+        continue;
+      }
+      if (e.why == Why::External) {
+        shared->leaf_lits.push_back({e.node, static_cast<VSet>(e.reason)});
+      } else {
+        resolve_rule(e);
+      }
+    }
+    // Base facts: every marked node's direct init value. Sources start at
+    // kPrimaryDomain for every fault (primary values carry no hazard) —
+    // universal, no literal needed. Everything else outside the cone
+    // initializes to kCleanSet, which a consumer whose cone covers the
+    // node does not guarantee — so it must be checked as a literal.
+    for (const NodeId n : marked_nodes_) {
+      if (!model_->node(n).source()) {
+        shared->leaf_lits.push_back({n, kCleanSet});
+      }
+    }
+    shared->footprint = marked_nodes_;
+    std::sort(shared->footprint.begin(), shared->footprint.end());
+  }
+  out->cone_clean = cone_clean;
+  return !out->lits.empty();
 }
 
 bool ImplicationEngine::propagate() {

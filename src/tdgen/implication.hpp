@@ -24,13 +24,16 @@
 // empty set, guaranteed observation on carrier-only sets) are sound.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "algebra/frame_sim.hpp"
 #include "algebra/model.hpp"
 #include "algebra/tables.hpp"
+#include "base/clause_arena.hpp"
 
 namespace gdf::tdgen {
 
@@ -40,6 +43,29 @@ struct ImplCounters {
   long assigns = 0;       ///< assign() calls (decisions + pins)
   long trail_pushes = 0;  ///< set narrowings recorded on the trail
   long trail_pops = 0;    ///< narrowings undone by rollback
+  long conflicts = 0;     ///< empty-set narrowings + clause firings
+  long clause_hits = 0;   ///< conflicts announced by a watched clause
+};
+
+/// Result of walking the trail back from a conflict: the minimal set of
+/// decision constraints whose conjunction re-derives the conflict.
+struct Analysis {
+  /// Decision literals, deduped per node (conjunction = intersection).
+  /// sets[lit.node] ⊆ lit.allowed for all lits is a nogood.
+  std::vector<base::ClauseLit> lits;
+  /// Sorted unique decision levels (1-based) involved in the conflict.
+  std::vector<std::uint32_t> levels;
+  /// True when the derivation never touched the fault cone or the site
+  /// transform — a candidate for cross-fault sharing.
+  bool cone_clean = false;
+};
+
+/// Deep-walk extension of an Analysis down through the level-0 trail:
+/// complete leaf facts plus the rule footprint, i.e. everything a
+/// different fault needs to validate the clause (see base::SharedClause).
+struct SharedExtract {
+  std::vector<base::ClauseLit> leaf_lits;
+  std::vector<alg::NodeId> footprint;  ///< sorted, every marked node
 };
 
 /// True when GDF_FULL_FIXPOINT=1 asks for the exhaustive debug schedule.
@@ -112,10 +138,54 @@ class ImplicationEngine {
   const alg::DelayAlgebra& algebra() const { return *algebra_; }
   const alg::FaultSpec& fault() const { return fault_; }
 
+  // --- Conflict-driven learning -------------------------------------------
+  //
+  // Every trail entry carries a reason tag naming the implication rule that
+  // produced it, so a conflict can be resolved backward: walk the trail from
+  // the top, replace each narrowing of a relevant node by the facts its rule
+  // read, and keep whatever bottoms out at decision assignments. The result
+  // is a nogood over decision literals — valid because the rules are
+  // monotone, so any state satisfying all its literals re-derives this very
+  // conflict at fixpoint. That same monotonicity makes clause firing a pure
+  // shortcut: a fired clause only announces a conflict the fixpoint was
+  // already guaranteed to reach, so learning never changes which states
+  // conflict — only how fast the engine notices.
+
+  /// Resolves the current conflict into decision literals. Requires
+  /// conflict() and at least one open decision level, with the trail still
+  /// intact (call before any rollback). When `shared` is non-null the walk
+  /// continues through the level-0 trail to extract the complete leaf facts
+  /// and rule footprint needed for cross-fault reuse (only meaningful when
+  /// out->cone_clean holds). Returns false when there is nothing to analyze.
+  bool analyze(Analysis* out, SharedExtract* shared = nullptr);
+
+  /// Adds a nogood clause and wires it into the watch lists at the current
+  /// state. Returns the clause index, or ClauseArena::kNone when every
+  /// literal already holds (the caller should treat the state as conflicted
+  /// — cannot happen at a conflict-free fixpoint for a valid clause).
+  std::size_t add_clause(std::span<const base::ClauseLit> lits);
+
+  /// The clauses learned so far — copy into a sibling search over the same
+  /// fault via import_clauses (pins only narrow the sibling's level-0 state,
+  /// so every clause stays valid there).
+  const base::ClauseArena& clauses() const { return arena_; }
+  void import_clauses(const base::ClauseArena& src);
+
  private:
+  /// Which rule produced a trail entry (for conflict resolution).
+  enum class Why : std::uint8_t {
+    External,  ///< assign(): reason holds the assigned VSet, not a node
+    Forward,   ///< forward image of node's own inputs
+    BwdIn,     ///< backward prune of an input; reason = the gate
+    RegPair,   ///< register correlation; reason = the partner node
+  };
+
   struct TrailEntry {
     alg::NodeId node;
+    /// Rule operand per Why — or the assigned set for Why::External.
+    alg::NodeId reason;
     alg::VSet old_set;
+    Why why;
   };
 
   /// Pending-rule bits per node: which operands changed since the node was
@@ -127,8 +197,12 @@ class ImplicationEngine {
   static constexpr std::uint8_t kSelf = 4;
   static constexpr std::uint8_t kAll = kIn0 | kIn1 | kSelf;
 
-  bool narrow(alg::NodeId n, alg::VSet next);
+  bool narrow(alg::NodeId n, alg::VSet next, alg::NodeId reason, Why why);
   void mark_dirty(alg::NodeId n);
+  bool check_watches(alg::NodeId n);
+  bool lit_true(const base::ClauseLit& lit) const {
+    return (sets_[lit.node] & ~lit.allowed) == 0;
+  }
   void add_pending(alg::NodeId n, std::uint8_t bits);
   bool process(alg::NodeId n, std::uint8_t pend);
   bool propagate();
@@ -164,9 +238,34 @@ class ImplicationEngine {
   std::vector<std::uint8_t> pending_;
   /// The fault site's dominator chain toward the observation sinks.
   std::vector<alg::NodeId> site_chain_;
+  /// Membership in the fault cone (shared with init) — analysis uses it to
+  /// decide whether a derivation is fault-independent.
+  std::vector<std::uint8_t> in_cone_;
   bool conflict_ = false;
+  /// What tripped the conflict: the emptied node, or the fired clause.
+  alg::NodeId conflict_node_ = alg::kNoNode;
+  std::size_t conflict_clause_ = base::ClauseArena::kNone;
   bool full_fixpoint_ = false;
   ImplCounters counters_;
+
+  // Learned clauses + two-watch lists (watches_[n] = clauses watching a
+  // literal on n). Rollback needs no watch maintenance: un-narrowing only
+  // turns literals false again.
+  base::ClauseArena arena_;
+  std::vector<std::array<std::uint32_t, 2>> watch_pos_;
+  std::vector<std::vector<std::uint32_t>> watches_;
+  /// False until the first clause is wired — lets narrow() skip the watch
+  /// probe entirely on clause-free searches.
+  bool watching_ = false;
+
+  // Analysis scratch, epoch-stamped so each analyze() starts clean in O(1).
+  // A mark means the node's fact is relevant to the conflict; marks are
+  // never cleared while walking — earlier narrowings of a marked node stay
+  // relevant (a set's current value conjoins every narrowing down to init).
+  std::uint64_t analysis_epoch_ = 0;
+  std::vector<std::uint64_t> mark_epoch_;
+  std::vector<alg::NodeId> marked_nodes_;
+  std::vector<std::uint8_t> level_flags_;
 };
 
 }  // namespace gdf::tdgen

@@ -50,6 +50,10 @@ TdgenSearch::~TdgenSearch() {
   tally.implication_assigns = engine_.counters().assigns;
   tally.trail_pushes = engine_.counters().trail_pushes;
   tally.trail_pops = engine_.counters().trail_pops;
+  tally.conflicts = engine_.counters().conflicts;
+  tally.clause_hits = engine_.counters().clause_hits;
+  tally.learned = learned_;
+  tally.backjump_levels_skipped = backjump_levels_skipped_;
   options_.tally->add(tally);
 }
 
@@ -87,7 +91,31 @@ bool TdgenSearch::start() {
       !engine_.assign(*required_obs_, kCarrierSet)) {
     return false;
   }
+  import_shared_clauses();
   return true;
+}
+
+void TdgenSearch::import_shared_clauses() {
+  if (!options_.learn) {
+    return;
+  }
+  if (options_.seed_clauses != nullptr) {
+    engine_.import_clauses(*options_.seed_clauses);
+  }
+  if (options_.shared_consume != nullptr) {
+    const base::ClauseStore::Snapshot snap =
+        options_.shared_consume->snapshot();
+    if (snap != nullptr) {
+      for (const base::SharedClause& clause : *snap) {
+        // A clause whose derivation ran a rule at this fault's site is not
+        // valid here — the site rule is replaced by the fault transform.
+        if (!std::binary_search(clause.footprint.begin(),
+                                clause.footprint.end(), spec_.site)) {
+          engine_.add_clause(clause.lits);
+        }
+      }
+    }
+  }
 }
 
 bool TdgenSearch::carrier_possible_at_observation() const {
@@ -143,6 +171,19 @@ bool TdgenSearch::check_stimulus(const std::vector<VSet>& pi_sets,
   std::string key = source_key(pi_sets, ppi_inits);
   if (failed_checks_.contains(key)) {
     return false;
+  }
+  if (options_.learn) {
+    // The whole check is a pure function of the source vector, so a
+    // repeated probe returns the memoized outcome. Byte-equivalent to
+    // resimulating: rerun_sources replays exactly from any cached base.
+    const auto hit = success_checks_.find(key);
+    if (hit != success_checks_.end()) {
+      ++probe_counters_.probe_memo_hits;
+      if (out != nullptr) {
+        *out = hit->second;
+      }
+      return true;
+    }
   }
   const auto fail = [&]() {
     failed_checks_.insert(std::move(key));
@@ -244,10 +285,18 @@ bool TdgenSearch::check_stimulus(const std::vector<VSet>& pi_sets,
           observed.end()) {
     return fail();
   }
+  CheckOutcome result;
+  result.stimulus = std::move(stimulus);
+  result.ppo_sets.reserve(model_->ppis().size());
+  for (std::size_t k = 0; k < model_->ppis().size(); ++k) {
+    result.ppo_sets.push_back(sim_sets[model_->ppo_node(k)]);
+  }
+  result.observed = std::move(observed);
+  if (options_.learn) {
+    success_checks_.emplace(std::move(key), result);
+  }
   if (out != nullptr) {
-    out->stimulus = std::move(stimulus);
-    out->sim_sets = sim_sets;  // the cache stays live for the next probe
-    out->observed = std::move(observed);
+    *out = std::move(result);
   }
   return true;
 }
@@ -290,8 +339,13 @@ bool TdgenSearch::verified_solution(LocalTest* out) {
   // needs; try to widen every specified state bit and PI back toward X
   // while the observation stays guaranteed. This keeps the required
   // initial state small (synchronizable) and the handed-over PPO values
-  // few — the paper's TDgen leaves exactly such X values behind.
-  for (std::size_t k = 0; k < ppi_inits.size(); ++k) {
+  // few — the paper's TDgen leaves exactly such X values behind. Under
+  // --learn shared the sources are tried cheapest fanout cone first
+  // (reorder_lifts); the reorder changes which of two interacting lifts
+  // sticks, so the byte-stable modes keep index order.
+  prepare_lift_order();
+  for (std::size_t j = 0; j < ppi_inits.size(); ++j) {
+    const std::size_t k = options_.reorder_lifts ? lift_order_ppi_[j] : j;
     if (ppi_inits[k] == 0b11u) {
       continue;
     }
@@ -304,7 +358,8 @@ bool TdgenSearch::verified_solution(LocalTest* out) {
       ppi_inits[k] = saved;
     }
   }
-  for (std::size_t i = 0; i < pi_sets.size(); ++i) {
+  for (std::size_t j = 0; j < pi_sets.size(); ++j) {
+    const std::size_t i = options_.reorder_lifts ? lift_order_pi_[j] : j;
     const VSet wide = model_->pis()[i] == spec_.site
                           ? pi_sets[i]
                           : alg::kPrimaryDomain;
@@ -339,13 +394,10 @@ bool TdgenSearch::verified_solution(LocalTest* out) {
   if (out != nullptr) {
     out->pi_sets = best.stimulus.pi_sets;
     out->ppi_sets = best.stimulus.ppi_sets;
-    out->ppo_sets.clear();
+    out->ppo_sets = best.ppo_sets;
     out->observed = best.observed;
     out->observed_at_po = false;
     out->observed_ppos.clear();
-    for (std::size_t k = 0; k < model_->ppis().size(); ++k) {
-      out->ppo_sets.push_back(best.sim_sets[model_->ppo_node(k)]);
-    }
     for (const NodeId obs : best.observed) {
       if (model_->node(obs).is_po) {
         out->observed_at_po = true;
@@ -370,6 +422,16 @@ bool TdgenSearch::push_decision(NodeId node, VSet try_set) {
   ++decisions_;
   engine_.push_level();
   stack_.push_back({node, static_cast<VSet>(current & ~try_set)});
+  if (options_.learn) {
+    // Fresh accumulated conflict set for the new level (see backtrack).
+    const std::size_t level = stack_.size();
+    if (cbj_rows_.size() <= level) {
+      cbj_rows_.resize(level + 1);
+      cbj_poison_.resize(level + 1, 0);
+    }
+    cbj_rows_[level].assign(level, 0);
+    cbj_poison_[level] = 0;
+  }
   engine_.assign(node, try_set);
   return true;
 }
@@ -414,14 +476,93 @@ bool TdgenSearch::choose_decision() {
   return false;
 }
 
-bool TdgenSearch::backtrack() {
+void TdgenSearch::prepare_lift_order() {
+  if (!options_.reorder_lifts || lift_order_ready_) {
+    return;
+  }
+  lift_order_ready_ = true;
+  const auto order_by_cone = [this](std::span<const NodeId> sources,
+                                    std::vector<std::size_t>* order) {
+    std::vector<std::size_t> cone_sizes(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      cone_sizes[i] = model_->carrier_cone(sources[i]).size();
+    }
+    order->resize(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      (*order)[i] = i;
+    }
+    std::sort(order->begin(), order->end(),
+              [&cone_sizes](std::size_t a, std::size_t b) {
+                if (cone_sizes[a] != cone_sizes[b]) {
+                  return cone_sizes[a] < cone_sizes[b];
+                }
+                return a < b;
+              });
+  };
+  order_by_cone(model_->ppis(), &lift_order_ppi_);
+  order_by_cone(model_->pis(), &lift_order_pi_);
+}
+
+bool TdgenSearch::backtrack(const std::vector<std::uint8_t>* involved) {
   ++backtracks_;
   if (backtracks_ > options_.backtrack_limit) {
     aborted_ = true;
     return false;
   }
+  if (!options_.learn) {
+    // Chronological walk, no conflict-set accounting — the pre-learning
+    // search byte for byte.
+    while (!stack_.empty()) {
+      Decision& d = stack_.back();
+      engine_.backtrack_level();
+      if (d.rest != kEmptySet) {
+        const VSet rest = d.rest;
+        d.rest = kEmptySet;
+        engine_.assign(d.node, rest);
+        return true;
+      }
+      engine_.pop_level();
+      stack_.pop_back();
+    }
+    return false;
+  }
+  // Conflict-directed walk (Prosser-style CBJ over set-splitting
+  // decisions). The current failure is summarized as the set of decision
+  // levels its derivation rests on; `poison` stands for "unknown cause"
+  // (carrier-blocked, dead-leaf, and resume backtracks carry no analysis)
+  // and behaves as "all levels". Each level accumulates the causes of
+  // every failure that bounced off it, so when the level exhausts, that
+  // union becomes the failure cause handed further down the stack.
+  bool poison = involved == nullptr;
+  if (!poison) {
+    cbj_cur_.assign(stack_.size() + 1, 0);
+    const std::size_t n = std::min(cbj_cur_.size(), involved->size());
+    std::copy(involved->begin(), involved->begin() + n, cbj_cur_.begin());
+  }
   while (!stack_.empty()) {
+    const std::size_t level = stack_.size();
     Decision& d = stack_.back();
+    if (!poison && (level >= cbj_cur_.size() || cbj_cur_[level] == 0)) {
+      // This level's decision is not part of the failure: every subtree
+      // under its untried rest keeps the failure's antecedents narrowed,
+      // so the implication fixpoint re-derives it there — discard the
+      // level wholesale without trying the rest.
+      engine_.pop_level();
+      stack_.pop_back();
+      ++backjump_levels_skipped_;
+      continue;
+    }
+    // Fold the cause into the level's accumulated conflict set before
+    // flipping (the row only tracks levels *below* this one).
+    if (poison) {
+      cbj_poison_[level] = 1;
+    } else {
+      std::vector<std::uint8_t>& row = cbj_rows_[level];
+      const std::size_t n = std::min(row.size(), cbj_cur_.size());
+      for (std::size_t l = 0; l < n; ++l) {
+        row[l] = static_cast<std::uint8_t>(row[l] | cbj_cur_[l]);
+      }
+    }
     engine_.backtrack_level();
     if (d.rest != kEmptySet) {
       const VSet rest = d.rest;
@@ -429,10 +570,80 @@ bool TdgenSearch::backtrack() {
       engine_.assign(d.node, rest);
       return true;
     }
+    // Exhausted: the union of everything that failed under this level is
+    // the reason the whole level failed — it becomes the cause carried to
+    // the next level down.
+    poison = cbj_poison_[level] != 0;
+    if (!poison) {
+      cbj_cur_.assign(cbj_rows_[level].begin(), cbj_rows_[level].end());
+    }
     engine_.pop_level();
     stack_.pop_back();
   }
   return false;
+}
+
+bool TdgenSearch::conflict_backtrack() {
+  SharedExtract* shared =
+      options_.shared_publish != nullptr ? &shared_extract_ : nullptr;
+  if (engine_.depth() == 0 || !engine_.analyze(&analysis_, shared)) {
+    return backtrack();
+  }
+
+  if (shared != nullptr && analysis_.cone_clean) {
+    // Fault-independent conflict: assemble decision + leaf literals into a
+    // standalone clause any other fault (site outside the footprint) can
+    // consume.
+    static constexpr std::size_t kMaxSharedLits = 16;
+    static constexpr std::size_t kMaxSharedClauses = 4096;
+    std::vector<base::ClauseLit> lits = analysis_.lits;
+    lits.insert(lits.end(), shared_extract_.leaf_lits.begin(),
+                shared_extract_.leaf_lits.end());
+    std::sort(lits.begin(), lits.end(),
+              [](const base::ClauseLit& a, const base::ClauseLit& b) {
+                return a.node < b.node;
+              });
+    std::size_t w = 0;
+    for (const base::ClauseLit& lit : lits) {
+      if (w > 0 && lits[w - 1].node == lit.node) {
+        lits[w - 1].allowed &= lit.allowed;
+      } else {
+        lits[w++] = lit;
+      }
+    }
+    lits.resize(w);
+    if (!lits.empty() && lits.size() <= kMaxSharedLits &&
+        options_.shared_publish->size() < kMaxSharedClauses) {
+      std::string key;
+      key.reserve(lits.size() * 5);
+      for (const base::ClauseLit& lit : lits) {
+        key.append(reinterpret_cast<const char*>(&lit.node),
+                   sizeof(lit.node));
+        key.push_back(static_cast<char>(lit.allowed));
+      }
+      if (shared_published_.insert(std::move(key)).second) {
+        options_.shared_publish->publish(
+            {std::move(lits), shared_extract_.footprint});
+      }
+    }
+  }
+
+  involved_levels_.assign(stack_.size() + 1, 0);
+  for (const std::uint32_t lvl : analysis_.levels) {
+    if (lvl < involved_levels_.size()) {
+      involved_levels_[lvl] = 1;
+    }
+  }
+  if (!backtrack(&involved_levels_)) {
+    return false;
+  }
+  // Learn at the post-jump state (the flipped literal is false again
+  // there, so the clause always has a watchable literal).
+  if (learned_ < options_.learned_limit &&
+      engine_.add_clause(analysis_.lits) != base::ClauseArena::kNone) {
+    ++learned_;
+  }
+  return true;
 }
 
 TdgenStatus TdgenSearch::exhausted_status() const {
@@ -460,7 +671,12 @@ TdgenStatus TdgenSearch::next(LocalTest* out) {
       return TdgenStatus::Aborted;
     }
     if (engine_.conflict() || !carrier_possible_at_observation()) {
-      if (!backtrack()) {
+      // Only engine conflicts carry a trail to analyze; a merely blocked
+      // carrier path backtracks chronologically as before.
+      const bool resumed = engine_.conflict() && options_.learn
+                               ? conflict_backtrack()
+                               : backtrack();
+      if (!resumed) {
         return exhausted_status();
       }
       continue;

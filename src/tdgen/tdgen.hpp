@@ -18,6 +18,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -35,23 +36,46 @@ struct SearchCounters {
   long implication_assigns = 0;
   long trail_pushes = 0;
   long trail_pops = 0;
+  long conflicts = 0;    ///< empty-set narrowings + clause firings
+  long learned = 0;      ///< clauses learned from conflict analysis
+  long clause_hits = 0;  ///< conflicts announced early by a learned clause
+  long backjump_levels_skipped = 0;  ///< levels discarded untried by CBJ
   long probe_runs = 0;  ///< verification probes executed (not memo-skipped)
   long probe_cone = 0;  ///< … settled incrementally from the cached state
   long probe_full = 0;  ///< … requiring a full two-frame pass
+  long probe_memo_hits = 0;  ///< probes answered from the success memo
 
   void add(const SearchCounters& other) {
     implication_assigns += other.implication_assigns;
     trail_pushes += other.trail_pushes;
     trail_pops += other.trail_pops;
+    conflicts += other.conflicts;
+    learned += other.learned;
+    clause_hits += other.clause_hits;
+    backjump_levels_skipped += other.backjump_levels_skipped;
     probe_runs += other.probe_runs;
     probe_cone += other.probe_cone;
     probe_full += other.probe_full;
+    probe_memo_hits += other.probe_memo_hits;
   }
 };
 
 struct TdgenOptions {
   int backtrack_limit = 100;     ///< paper §6
   long decision_limit = 200000;  ///< safety net against pathological cases
+  /// Conflict-driven mode: learn blocking implicates from every engine
+  /// conflict, backjump non-chronologically to the deepest involved level,
+  /// memoize successful verification probes, and lift don't-cares cheapest
+  /// cone first. Off reproduces the chronological search byte-for-byte.
+  bool learn = true;
+  /// Cap on clauses stored per search (analysis still drives backjumps
+  /// once the database is full).
+  int learned_limit = 512;
+  /// Try don't-care lifts cheapest fanout cone first instead of in index
+  /// order. The reorder changes which of two interacting lifts sticks —
+  /// pattern drift that cascades through fault dropping — so it is only
+  /// enabled where byte-stability is already waived (--learn shared).
+  bool reorder_lifts = false;
   /// When set, the search adds its counters here on destruction.
   SearchCounters* tally = nullptr;
   /// Optional pre-sorted observation-distance cone for the fault site
@@ -64,6 +88,15 @@ struct TdgenOptions {
   /// same model and fault. Re-entries skip the whole-circuit init fixpoint
   /// this way; an incompatible donor silently falls back to init().
   const ImplicationEngine* init_donor = nullptr;
+  /// Clauses learned by an earlier search over the same fault (the base
+  /// search, for re-entries). Pins only narrow a re-entry's level-0 state,
+  /// so every base-search clause stays valid there; copied at start().
+  const base::ClauseArena* seed_clauses = nullptr;
+  /// Cross-fault store (--learn shared): fault-independent clauses are
+  /// consumed at start() (skipping any whose footprint covers this fault's
+  /// site) and published from cone-clean conflicts.
+  const base::ClauseStore* shared_consume = nullptr;
+  base::ClauseStore* shared_publish = nullptr;
 };
 
 enum class TdgenStatus {
@@ -90,6 +123,12 @@ class TdgenSearch {
   /// This search's engine — pass as TdgenOptions::init_donor to a re-entry
   /// over the same fault so it can seed from the post-init snapshot.
   const ImplicationEngine& engine() const { return engine_; }
+
+  /// Clauses learned so far — pass as TdgenOptions::seed_clauses to a
+  /// re-entry over the same fault.
+  const base::ClauseArena& learned_clauses() const {
+    return engine_.clauses();
+  }
 
   /// Constrains a PPO line to `allowed` (e.g. steady clean {1} during
   /// propagation justification re-entry). Call before the first next().
@@ -118,12 +157,24 @@ class TdgenSearch {
 
   struct CheckOutcome {
     alg::TwoFrameStimulus stimulus;
-    std::vector<alg::VSet> sim_sets;
+    /// Simulated PPO sets, indexed by DFF — the only simulation output a
+    /// solution needs, and compact enough to memoize per source vector.
+    std::vector<alg::VSet> ppo_sets;
     std::vector<alg::NodeId> observed;
   };
 
   bool start();
-  bool backtrack();
+  /// Chronological backtrack, or — when `involved` names the decision
+  /// levels a just-analyzed conflict rests on — conflict-directed
+  /// backjumping: levels not in the failure's cause are discarded untried
+  /// (their subtrees re-derive the failure, hence are solution-free).
+  /// Exhausted levels hand the union of the causes accumulated against
+  /// them further down; a backtrack without analysis (nullptr) poisons
+  /// the levels it crosses, pinning the walk below them to chronological.
+  bool backtrack(const std::vector<std::uint8_t>* involved = nullptr);
+  /// Analyzes the current engine conflict, learns a clause (and publishes
+  /// a cone-clean one under --learn shared), then backjumps.
+  bool conflict_backtrack();
   bool choose_decision();
   bool push_decision(alg::NodeId node, alg::VSet try_set);
   bool carrier_possible_at_observation() const;
@@ -133,6 +184,8 @@ class TdgenSearch {
                       CheckOutcome* out) const;
   bool verified_solution(LocalTest* out);
   TdgenStatus exhausted_status() const;
+  void import_shared_clauses();
+  void prepare_lift_order();
 
   const alg::AtpgModel* model_;
   const alg::DelayAlgebra* algebra_;
@@ -158,6 +211,11 @@ class TdgenSearch {
   /// check_stimulus inputs that already failed (the check is deterministic,
   /// so they fail forever) — mostly hit by the don't-care lifting probes.
   mutable std::unordered_set<std::string> failed_checks_;
+  /// Successful probe outcomes by source key (--learn only): the check is
+  /// a pure function of the sources, so a repeat returns the cached
+  /// outcome instead of resimulating. Byte-equivalent either way —
+  /// rerun_sources replays against any cached base state exactly.
+  mutable std::unordered_map<std::string, CheckOutcome> success_checks_;
   /// The cone-scoped probe cache. probe_base_ holds node sets settled
   /// under the last probe's *raw* sources (pre register-fixpoint): a new
   /// probe hands its full source vector to rerun_sources, which replays
@@ -170,6 +228,27 @@ class TdgenSearch {
   mutable std::vector<alg::VSet> probe_sets_;
   mutable bool probe_ready_ = false;
   mutable SearchCounters probe_counters_;
+  /// Conflict-analysis scratch reused across conflicts.
+  Analysis analysis_;
+  SharedExtract shared_extract_;
+  std::vector<std::uint8_t> involved_levels_;
+  /// Per decision level: the union of the conflict sets of every failure
+  /// that bounced off that level (CBJ accounting, --learn only).
+  /// cbj_rows_[k][l] != 0 marks level l < k as involved; cbj_poison_[k]
+  /// means some failure there had no analysis ("involves everything").
+  std::vector<std::vector<std::uint8_t>> cbj_rows_;
+  std::vector<std::uint8_t> cbj_poison_;
+  std::vector<std::uint8_t> cbj_cur_;
+  /// Keys of clauses already published to the shared store by this search.
+  std::unordered_set<std::string> shared_published_;
+  /// Don't-care lifting order (--learn only): source indices sorted by
+  /// fanout-cone size ascending, so cheap probes run (and cheap lifts
+  /// stick) first. Built lazily at the first verified solution.
+  std::vector<std::size_t> lift_order_ppi_;
+  std::vector<std::size_t> lift_order_pi_;
+  bool lift_order_ready_ = false;
+  long learned_ = 0;
+  long backjump_levels_skipped_ = 0;
   bool started_ = false;
   bool aborted_ = false;
   int backtracks_ = 0;

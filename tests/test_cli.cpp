@@ -53,6 +53,8 @@ TEST(ArgsTest, UsageMentionsNewFlags) {
   EXPECT_NE(text.find("--shard-epoch"), std::string::npos);
   EXPECT_NE(text.find("--lanes"), std::string::npos);
   EXPECT_NE(text.find("--adi-sequences"), std::string::npos);
+  EXPECT_NE(text.find("--learn"), std::string::npos);
+  EXPECT_NE(text.find("--learned-limit"), std::string::npos);
 }
 
 TEST(ArgsTest, LaneWidthChoices) {
@@ -74,6 +76,20 @@ TEST(ArgsTest, LaneWidthChoices) {
   EXPECT_EQ(sim::resolve_lane_count({LaneSpec::Width::W512}), 512u);
   const unsigned probed = sim::resolve_lane_count({});
   EXPECT_TRUE(probed == 64 || probed == 256 || probed == 512);
+}
+
+TEST(ArgsTest, LearnModeChoices) {
+  EXPECT_EQ(parse({"--all"}).atpg.learn, core::LearnMode::On);
+  EXPECT_EQ(parse({"--all", "--learn", "on"}).atpg.learn,
+            core::LearnMode::On);
+  EXPECT_EQ(parse({"--all", "--learn", "off"}).atpg.learn,
+            core::LearnMode::Off);
+  EXPECT_EQ(parse({"--all", "--learn", "shared"}).atpg.learn,
+            core::LearnMode::Shared);
+  EXPECT_THROW(parse({"--all", "--learn", "maybe"}), Error);
+  EXPECT_EQ(parse({"--all"}).atpg.learned_limit, 512);
+  EXPECT_EQ(parse({"--all", "--learned-limit", "64"}).atpg.learned_limit,
+            64);
 }
 
 TEST(ArgsTest, AdiSequenceBudget) {

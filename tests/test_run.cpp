@@ -193,6 +193,22 @@ TEST(ShardConfigTest, AutoGatesOnSizePoolAndTimingCaps) {
   EXPECT_EQ(shard_epoch_size(shard, 3), 5u);
 }
 
+TEST(ShardConfigTest, ForcedWidthOneRunsSequential) {
+  // --shard-faults 1 degenerates to the sequential loop plus the
+  // epoch/barrier machinery — same bytes, pure overhead — so the gate
+  // hands it to the plain loop. Width 2 still shards, even on a
+  // one-thread pool (the orchestrating thread helps inside wait()).
+  ThreadPool narrow(1);
+  ThreadPool wide(4);
+  ShardConfig shard;
+  shard.policy = ShardConfig::Policy::Forced;
+  shard.workers = 1;
+  EXPECT_EQ(shard_workers(shard, narrow, 5000, 0.0), 0u);
+  EXPECT_EQ(shard_workers(shard, wide, 5000, 0.0), 0u);
+  shard.workers = 2;
+  EXPECT_EQ(shard_workers(shard, narrow, 5000, 0.0), 2u);
+}
+
 // The tentpole contract: an epoch-sharded run is indistinguishable from
 // the sequential run — same classifications, same pattern sets, same
 // stage counters — for any pool width and any epoch size, including

@@ -259,6 +259,86 @@ TEST(LocalTestHelpers, ClassifyPpo) {
             PpoKind::Unknown);
 }
 
+TEST(ConflictDrivenSearch, BackjumpOnlyConvertsAborts) {
+  // Conflict-directed backjumping discards only subtrees a learned
+  // conflict proves solution-free, and clause firings only announce
+  // conflicts the implication fixpoint reaches anyway — so against the
+  // chronological search (--learn off) a learn-enabled search may convert
+  // an abort into a verdict but never flip one, and when both find a test
+  // it is the *same* test (identical depth-first order elsewhere).
+  for (const char* name : {"s27", "s208"}) {
+    const net::Netlist nl =
+        net::expand_fanout_branches(circuits::load_circuit(name));
+    const AtpgModel model(nl);
+    SearchCounters tally;
+    for (const DelayFault& f : enumerate_faults(nl)) {
+      TdgenOptions off;
+      off.learn = false;
+      TdgenSearch chrono(model, robust_algebra(), f, off);
+      LocalTest t_off;
+      const TdgenStatus s_off = chrono.next(&t_off);
+
+      TdgenOptions on;  // learn defaults to true
+      on.tally = &tally;
+      TdgenSearch cbj(model, robust_algebra(), f, on);
+      LocalTest t_on;
+      const TdgenStatus s_on = cbj.next(&t_on);
+
+      switch (s_off) {
+        case TdgenStatus::TestFound:
+          ASSERT_EQ(s_on, TdgenStatus::TestFound) << fault_name(nl, f);
+          EXPECT_EQ(t_on.pi_sets, t_off.pi_sets) << fault_name(nl, f);
+          EXPECT_EQ(t_on.ppi_sets, t_off.ppi_sets) << fault_name(nl, f);
+          break;
+        case TdgenStatus::Untestable:
+          EXPECT_EQ(s_on, TdgenStatus::Untestable) << fault_name(nl, f);
+          break;
+        case TdgenStatus::Aborted:
+          break;  // learning may turn an abort into either verdict
+      }
+    }
+    // The sweep must actually exercise the machinery it validates.
+    EXPECT_GT(tally.conflicts, 0);
+    EXPECT_GT(tally.learned, 0);
+  }
+}
+
+TEST(ConflictDrivenSearch, ProbeMemoMatchesResimulation) {
+  // Enumerating several tests per fault revisits leaves whose source
+  // vectors repeat, so the success memo answers some probes from cache —
+  // and the enumerated tests must still match the memo-free chronological
+  // search exactly.
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::load_circuit("s208"));
+  const AtpgModel model(nl);
+  SearchCounters tally;
+  for (const DelayFault& f : enumerate_faults(nl)) {
+    TdgenOptions off;
+    off.learn = false;
+    TdgenSearch chrono(model, robust_algebra(), f, off);
+    TdgenOptions on;
+    on.tally = &tally;
+    TdgenSearch memo(model, robust_algebra(), f, on);
+    for (int round = 0; round < 4; ++round) {
+      LocalTest t_off, t_on;
+      const TdgenStatus s_off = chrono.next(&t_off);
+      const TdgenStatus s_on = memo.next(&t_on);
+      if (s_off == TdgenStatus::Aborted) {
+        break;  // beyond an abort the searches may diverge
+      }
+      ASSERT_EQ(s_on, s_off) << fault_name(nl, f) << " round " << round;
+      if (s_off != TdgenStatus::TestFound) {
+        break;
+      }
+      EXPECT_EQ(t_on.pi_sets, t_off.pi_sets)
+          << fault_name(nl, f) << " round " << round;
+      EXPECT_EQ(t_on.ppi_sets, t_off.ppi_sets)
+          << fault_name(nl, f) << " round " << round;
+    }
+  }
+  EXPECT_GT(tally.probe_memo_hits, 0);
+}
+
 TEST(TdgenNonRobust, RelaxedModeFindsAtLeastAsMany) {
   const net::Netlist nl =
       net::expand_fanout_branches(circuits::make_s27());
