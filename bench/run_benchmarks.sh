@@ -83,6 +83,23 @@ if [[ "$(echo "$CSV_BIG_OFF" | cut -d, -f1-5)" != \
   exit 1
 fi
 
+# Learning ablation on the same two tails (the clause-quality PR): the
+# three --learn modes at identical flags otherwise, recording wall time
+# and the aborted totals. 'off' is the pre-learning baseline, 'on' the
+# deterministic per-fault learner (tiered clauses + activity ordering +
+# luby restarts), 'shared' adds cross-fault clause exchange.
+for mode in off on shared; do
+  echo "run_benchmarks: s1196+s1238 with --learn $mode ..." >&2
+  TA=$(date +%s.%N)
+  # --stages rides along (filtered back out of the CSV) so the shared
+  # leg's clause-store footprint lands in the JSON.
+  raw=$("$GDF_ATPG" $BIG --csv --jobs "$JOBS" --learn "$mode" --stages)
+  TB=$(date +%s.%N)
+  declare "LEARN_CSV_$mode=$(echo "$raw" | grep -v '^ ')"
+  declare "LEARN_STAGES_$mode=$(echo "$raw" | grep '^ ' || true)"
+  declare "LEARN_WALL_$mode=$(echo "$TB $TA" | awk '{printf "%.3f", $1 - $2}')"
+done
+
 # ADI ordering budget trade-off (satellite of the backend PR): the
 # sampling-based fault order spends adi_sequences random sequences per
 # estimate. Sweep the budget on two mid-size circuits and record how
@@ -113,6 +130,10 @@ CSV_J1="$CSV_J1" CSV_JN="$CSV_JN" JOBS="$JOBS" HW="$HW" \
   WALL_J1="$WALL_J1" WALL_JN="$WALL_JN" \
   WALL_BIG_OFF="$WALL_BIG_OFF" WALL_BIG_SHARD="$WALL_BIG_SHARD" \
   STAGES_BIG="$STAGES_BIG" \
+  LEARN_CSV_off="$LEARN_CSV_off" LEARN_WALL_off="$LEARN_WALL_off" \
+  LEARN_CSV_on="$LEARN_CSV_on" LEARN_WALL_on="$LEARN_WALL_on" \
+  LEARN_CSV_shared="$LEARN_CSV_shared" LEARN_WALL_shared="$LEARN_WALL_shared" \
+  LEARN_STAGES_shared="$LEARN_STAGES_shared" \
   ADI_CSV_2="$ADI_CSV_2" ADI_WALL_2="$ADI_WALL_2" \
   ADI_CSV_8="$ADI_CSV_8" ADI_WALL_8="$ADI_WALL_8" \
   ADI_CSV_16="$ADI_CSV_16" ADI_WALL_16="$ADI_WALL_16" \
@@ -177,6 +198,15 @@ search_core = {
     "clause_hits": 0,
     "backjump_levels_skipped": 0,
     "probe_memo_hits": 0,
+    "restarts": 0,
+    "clause_reductions": 0,
+    "minimized_lits": 0,
+    "clause_db_core": 0,
+    "clause_db_mid": 0,
+    "clause_db_local": 0,
+    "lbd_le2": 0,
+    "lbd_3_6": 0,
+    "lbd_gt6": 0,
 }
 for m in re.finditer(
         r"search core\s+implications (\d+), trail pushes (\d+), pops (\d+)",
@@ -202,6 +232,32 @@ for m in re.finditer(
     search_core["backjump_levels_skipped"] += int(m.group(4))
 for m in re.finditer(r"probe memo\s+hits (\d+)", stages_text):
     search_core["probe_memo_hits"] += int(m.group(1))
+# Clause-quality scheduling counters (the clause-quality PR): restart and
+# reduction cadence, minimization yield, and the tier/LBD composition of
+# the learned databases at end of search.
+for m in re.finditer(
+        r"restart policy\s+restarts (\d+), clause reductions (\d+), "
+        r"minimized lits (\d+)",
+        stages_text):
+    search_core["restarts"] += int(m.group(1))
+    search_core["clause_reductions"] += int(m.group(2))
+    search_core["minimized_lits"] += int(m.group(3))
+for m in re.finditer(
+        r"clause tiers\s+core (\d+), mid (\d+), local (\d+); "
+        r"LBD<=2 (\d+), 3-6 (\d+), >6 (\d+)",
+        stages_text):
+    search_core["clause_db_core"] += int(m.group(1))
+    search_core["clause_db_mid"] += int(m.group(2))
+    search_core["clause_db_local"] += int(m.group(3))
+    search_core["lbd_le2"] += int(m.group(4))
+    search_core["lbd_3_6"] += int(m.group(5))
+    search_core["lbd_gt6"] += int(m.group(6))
+# The store footprint only exists on the --learn shared ablation leg —
+# the main sweeps run the per-fault learner, whose gauge is zero.
+clause_store_bytes = 0
+for m in re.finditer(r"shared clause store\s+(\d+) bytes",
+                     os.environ.get("LEARN_STAGES_shared", "")):
+    clause_store_bytes += int(m.group(1))
 
 # Simulation-kernel counters (the backend PR): which backend ran and how
 # many gate evaluations each lane width performed over the tail circuits.
@@ -237,6 +293,20 @@ if base and "items_per_second" in base:
             lane_ladder["speedup_vs_64"][lanes] = round(
                 ips / base["items_per_second"], 2)
 
+# The learning ablation over the s1196+s1238 tails: wall seconds and
+# verdict mix per --learn mode at otherwise identical flags.
+learning_ablation = []
+for mode in ("off", "on", "shared"):
+    rows = parse(os.environ[f"LEARN_CSV_{mode}"])
+    learning_ablation.append({
+        "learn": mode,
+        "wall_seconds": float(os.environ[f"LEARN_WALL_{mode}"]),
+        "tested": sum(r["tested"] for r in rows),
+        "untestable": sum(r["untestable"] for r in rows),
+        "aborted": sum(r["aborted"] for r in rows),
+        "patterns": sum(r["patterns"] for r in rows),
+    })
+
 # The ADI budget sweep: coverage/runtime versus sample count.
 adi_budget = []
 for budget in (2, 8, 16):
@@ -268,6 +338,11 @@ report = {
         round(big_off / big_shard, 2) if big_shard > 0 else None,
     # ISSUE-5 search-core counters over the s1196+s1238 sequential run.
     "search_core_s1196_s1238": search_core,
+    # Shared clause store footprint of that run (0 unless --learn shared).
+    "clause_store_bytes_s1196_s1238": clause_store_bytes,
+    # The clause-quality PR's ablation: --learn off/on/shared over the
+    # same two tails (wall seconds + verdict mix).
+    "learning_ablation": learning_ablation,
     # Aborted faults per circuit plus the catalog total (the learning PR's
     # effectiveness metric: learning may only shrink these).
     "aborted_faults": {

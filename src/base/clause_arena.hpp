@@ -12,6 +12,14 @@
 // conflict). Clauses therefore only shortcut work — they never change
 // which states are conflicted.
 //
+// Every clause carries quality metadata for the tiered database policy:
+// its LBD (literal-block-distance — how many distinct decision levels the
+// nogood's literals spanned when it was learned; low LBD = the clause
+// talks about tightly coupled decisions and tends to fire again) and an
+// EVSIDS-style activity bumped each time the clause announces a conflict.
+// The engine's reduction pass keeps LBD≤2 "core" clauses forever and
+// ranks the rest by (LBD, activity) — see ImplicationEngine::reduce.
+//
 // The arena is a flat pool (literals back to back, offset-indexed
 // headers) so a search's clause set stays cache-dense and is cheap to
 // copy into a re-entry search over the same fault.
@@ -36,27 +44,55 @@ struct ClauseLit {
   alg::VSet allowed = 0;
 };
 
-/// Flat clause pool. Clauses are append-only; an index identifies a
-/// clause for the watch lists. Copyable (re-entry searches seed from the
-/// base search's arena).
+/// Clause-quality tier by LBD (see ClauseArena::tier_of): core clauses
+/// survive every reduction, mid clauses compete on (LBD, activity), local
+/// clauses are evicted aggressively.
+enum class ClauseTier : std::uint8_t { Core, Mid, Local };
+
+/// Flat clause pool. Clauses are append-only between reductions; an index
+/// identifies a clause for the watch lists. Copyable (re-entry searches
+/// seed from the base search's arena).
 class ClauseArena {
  public:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  /// LBD boundaries of the three tiers (Glucose-style).
+  static constexpr std::uint32_t kCoreLbd = 2;
+  static constexpr std::uint32_t kMidLbd = 6;
 
-  /// Appends a clause; rejects empty input. Returns its index.
-  std::size_t add(std::span<const ClauseLit> lits);
+  /// Appends a clause stamped with its literal-block distance; rejects
+  /// empty input. Returns its index.
+  std::size_t add(std::span<const ClauseLit> lits, std::uint32_t lbd = 0);
 
   std::size_t size() const { return offsets_.size() - 1; }
+  /// Total literals pooled — the arena's dominant memory term.
+  std::size_t lit_count() const { return pool_.size(); }
 
   std::span<const ClauseLit> lits(std::size_t clause) const {
     return {pool_.data() + offsets_[clause],
             offsets_[clause + 1] - offsets_[clause]};
   }
 
+  std::uint32_t lbd(std::size_t clause) const { return lbd_[clause]; }
+  double activity(std::size_t clause) const { return activity_[clause]; }
+  void bump_activity(std::size_t clause, double inc) {
+    activity_[clause] += inc;
+  }
+  /// Rescales every activity (the EVSIDS overflow guard).
+  void scale_activities(double factor);
+
+  static ClauseTier tier_of(std::uint32_t lbd) {
+    if (lbd <= kCoreLbd) {
+      return ClauseTier::Core;
+    }
+    return lbd <= kMidLbd ? ClauseTier::Mid : ClauseTier::Local;
+  }
+
  private:
   std::vector<ClauseLit> pool_;
   /// size()+1 offsets into pool_ (offsets_[0] == 0 always).
   std::vector<std::size_t> offsets_ = {0};
+  std::vector<std::uint32_t> lbd_;
+  std::vector<double> activity_;
 };
 
 /// A clause proven without reference to any fault site: literals are its
@@ -67,6 +103,9 @@ class ClauseArena {
 struct SharedClause {
   std::vector<ClauseLit> lits;
   std::vector<alg::NodeId> footprint;
+  /// LBD at learn time in the publishing search — the store's eviction
+  /// quality signal (the consumer re-picks watches anyway).
+  std::uint32_t lbd = 0;
 };
 
 /// Cross-fault clause store, keyed on the shared CircuitContext (one per
@@ -74,18 +113,31 @@ struct SharedClause {
 /// consumers grab an immutable snapshot. Which snapshot a consumer sees
 /// depends on scheduling, so consumption is opt-in (--learn shared) and
 /// documented as trading byte-stability across worker counts for speed.
+///
+/// Growth is bounded: the store accounts its clause and byte totals and,
+/// at the capacity, runs the same tiered reduction as the per-fault
+/// database — LBD≤2 core clauses are kept unconditionally, the rest
+/// compete by (LBD ascending, newest first) for the remaining slots.
 class ClauseStore {
  public:
   using Snapshot = std::shared_ptr<const std::vector<SharedClause>>;
+
+  explicit ClauseStore(std::size_t capacity = 4096) : capacity_(capacity) {}
 
   void publish(SharedClause clause);
   /// The current clause set (possibly null when nothing was published).
   Snapshot snapshot() const;
   std::size_t size() const;
+  /// Payload bytes of the stored clauses (literals + footprints) — what
+  /// --stages reports as clause_store_bytes.
+  std::size_t bytes() const;
+  std::size_t capacity() const { return capacity_; }
 
  private:
+  std::size_t capacity_;
   mutable std::mutex mutex_;
   Snapshot clauses_;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace gdf::base

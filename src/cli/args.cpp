@@ -127,6 +127,19 @@ DriverConfig parse_args(int argc, const char* const* argv) {
       }
     } else if (arg == "--learned-limit") {
       config.atpg.learned_limit = parse_int(arg, value_of(i, arg));
+    } else if (arg == "--restarts") {
+      const std::string mode = value_of(i, arg);
+      if (mode == "luby") {
+        config.atpg.local.restarts = tdgen::RestartPolicy::Luby;
+      } else if (mode == "off") {
+        config.atpg.local.restarts = tdgen::RestartPolicy::Off;
+      } else {
+        throw Error("--restarts expects 'luby' or 'off', got '" + mode + "'");
+      }
+    } else if (arg == "--restart-base") {
+      const int base = parse_int(arg, value_of(i, arg));
+      check(base > 0, "--restart-base expects a positive conflict count");
+      config.atpg.local.restart_base = base;
     } else if (arg == "--per-fault-seconds") {
       config.atpg.per_fault_seconds = parse_seconds(arg, value_of(i, arg));
     } else if (arg == "--seed") {
@@ -286,7 +299,15 @@ std::string usage() {
       "                          exchange fault-independent clauses across\n"
       "                          faults; fastest, but rows may differ\n"
       "                          across --jobs/--shard-faults)\n"
-      "      --learned-limit N   learned clauses kept per fault [512]\n"
+      "      --learned-limit N   clause-database budget per fault; past it\n"
+      "                          a tiered reduction keeps LBD<=2 clauses\n"
+      "                          and the best of the rest [512]\n"
+      "      --restarts MODE     restart policy of the learning search:\n"
+      "                          'luby' (restart after base*luby(k)\n"
+      "                          conflicts keeping clauses, activities and\n"
+      "                          saved phases; deterministic at any worker\n"
+      "                          count, default) or 'off'\n"
+      "      --restart-base N    conflicts before the first restart [32]\n"
       "      --seed N            RNG seed for X-fill         [1995]\n"
       "      --no-fault-dropping disable dropping via fault simulation\n"
       "      --no-branch-faults  gate outputs only, no fanout branches\n"

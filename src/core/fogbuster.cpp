@@ -532,7 +532,15 @@ FogbusterResult Fogbuster::run(std::span<const std::size_t> target_order) {
     merge_targeted(i, memoized, status, sequence, stages, &result);
   }
   result.seconds = watch.seconds();
+  result.stages.clause_store_bytes = shared_clause_bytes();
   return result;
+}
+
+long Fogbuster::shared_clause_bytes() const {
+  if (options_.learn != LearnMode::Shared) {
+    return 0;
+  }
+  return static_cast<long>(ctx_->learned_clauses(options_.mode).bytes());
 }
 
 }  // namespace gdf::core

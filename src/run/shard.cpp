@@ -168,6 +168,7 @@ core::FogbusterResult run_sharded(core::Fogbuster& flow,
     }
   }
   result.seconds = watch.seconds();
+  result.stages.clause_store_bytes = flow.shared_clause_bytes();
   return result;
 }
 

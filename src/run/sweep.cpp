@@ -84,6 +84,8 @@ struct GenerationKey {
   // share an untestable memo.
   core::LearnMode learn;
   int learned_limit;
+  tdgen::RestartPolicy restarts;
+  int restart_base;
 
   explicit GenerationKey(const core::AtpgOptions& o)
       : structure(o),
@@ -96,7 +98,9 @@ struct GenerationKey {
         seq_decisions(o.sequential.decision_limit),
         per_fault_seconds(o.per_fault_seconds),
         learn(o.learn),
-        learned_limit(o.learned_limit) {}
+        learned_limit(o.learned_limit),
+        restarts(o.local.restarts),
+        restart_base(o.local.restart_base) {}
 
   bool operator==(const GenerationKey&) const = default;
 };

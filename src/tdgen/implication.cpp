@@ -50,6 +50,7 @@ ImplicationEngine::ImplicationEngine(const alg::AtpgModel& model,
   in_cone_.assign(model.node_count(), 0);
   watches_.assign(model.node_count(), {});
   mark_epoch_.assign(model.node_count(), 0);
+  activity_.assign(model.node_count(), 0.0);
 }
 
 void ImplicationEngine::init(const alg::FaultSpec& fault) {
@@ -66,6 +67,9 @@ void ImplicationEngine::init(const alg::FaultSpec& fault) {
     w.clear();
   }
   watching_ = false;
+  cla_inc_ = 1.0;
+  activity_.assign(model_->node_count(), 0.0);
+  act_inc_ = 1.0;
 
   in_cone_.assign(model_->node_count(), 0);
   site_chain_.clear();
@@ -118,6 +122,9 @@ bool ImplicationEngine::init_from(const ImplicationEngine& donor,
     w.clear();
   }
   watching_ = false;
+  cla_inc_ = 1.0;
+  activity_.assign(model_->node_count(), 0.0);
+  act_inc_ = 1.0;
   site_chain_ = donor.site_chain_;
   in_cone_ = donor.in_cone_;
   init_sets_ = donor.init_sets_;
@@ -242,13 +249,20 @@ bool ImplicationEngine::check_watches(NodeId n) {
     conflict_clause_ = c;
     ++counters_.conflicts;
     ++counters_.clause_hits;
+    // A firing clause proves its usefulness: bump it (EVSIDS — everyone
+    // else decays by the growing increment) so reductions keep it.
+    arena_.bump_activity(c, cla_inc_);
+    if (arena_.activity(c) > 1e100) {
+      arena_.scale_activities(1e-100);
+      cla_inc_ *= 1e-100;
+    }
     return false;
   }
   return true;
 }
 
-std::size_t ImplicationEngine::add_clause(
-    std::span<const base::ClauseLit> lits) {
+std::size_t ImplicationEngine::add_clause(std::span<const base::ClauseLit> lits,
+                                          std::uint32_t lbd) {
   // Pick two literals that are false in the current state (one suffices
   // for a unit clause; none means the clause already fires here).
   std::uint32_t a = static_cast<std::uint32_t>(lits.size());
@@ -270,7 +284,7 @@ std::size_t ImplicationEngine::add_clause(
   if (b == lits.size()) {
     b = a;
   }
-  const std::size_t index = arena_.add(lits);
+  const std::size_t index = arena_.add(lits, lbd);
   watch_pos_.push_back({a, b});
   watches_[lits[a].node].push_back(static_cast<std::uint32_t>(index));
   if (b != a) {
@@ -282,8 +296,124 @@ std::size_t ImplicationEngine::add_clause(
 
 void ImplicationEngine::import_clauses(const base::ClauseArena& src) {
   for (std::size_t c = 0; c < src.size(); ++c) {
-    add_clause(src.lits(c));
+    add_clause(src.lits(c), src.lbd(c));
   }
+}
+
+std::size_t ImplicationEngine::reduce_clauses(std::size_t keep_target) {
+  GDF_ASSERT(!conflict_, "reduce_clauses on a conflicted engine");
+  const std::size_t total = arena_.size();
+  if (total <= keep_target) {
+    return 0;
+  }
+  // Rank: core clauses always survive; the rest by (LBD ascending,
+  // activity descending, newer first). All tie-breaks are total, so the
+  // surviving set is a pure function of the learning history.
+  std::vector<std::size_t> rest;
+  rest.reserve(total);
+  std::size_t core = 0;
+  for (std::size_t c = 0; c < total; ++c) {
+    if (base::ClauseArena::tier_of(arena_.lbd(c)) == base::ClauseTier::Core) {
+      ++core;
+    } else {
+      rest.push_back(c);
+    }
+  }
+  const std::size_t keep_rest = keep_target > core ? keep_target - core : 0;
+  if (rest.size() <= keep_rest) {
+    return 0;
+  }
+  std::stable_sort(rest.begin(), rest.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (arena_.lbd(a) != arena_.lbd(b)) {
+                       return arena_.lbd(a) < arena_.lbd(b);
+                     }
+                     if (arena_.activity(a) != arena_.activity(b)) {
+                       return arena_.activity(a) > arena_.activity(b);
+                     }
+                     return a > b;  // newer first on equal quality
+                   });
+  std::vector<std::uint8_t> keep(total, 0);
+  for (std::size_t c = 0; c < total; ++c) {
+    if (base::ClauseArena::tier_of(arena_.lbd(c)) == base::ClauseTier::Core) {
+      keep[c] = 1;
+    }
+  }
+  for (std::size_t k = 0; k < keep_rest; ++k) {
+    keep[rest[k]] = 1;
+  }
+  // Rebuild the arena and the watch lists from scratch in original index
+  // order. add_clause re-picks watches against the *current* state, which
+  // is exactly the invariant the scheme needs (and every surviving clause
+  // has a false literal here: an all-true valid nogood would contradict
+  // this conflict-free fixpoint).
+  base::ClauseArena old = std::move(arena_);
+  arena_ = {};
+  watch_pos_.clear();
+  for (auto& w : watches_) {
+    w.clear();
+  }
+  watching_ = false;
+  std::size_t evicted = 0;
+  for (std::size_t c = 0; c < total; ++c) {
+    if (!keep[c]) {
+      ++evicted;
+      continue;
+    }
+    const std::size_t idx = add_clause(old.lits(c), old.lbd(c));
+    if (idx != base::ClauseArena::kNone) {
+      arena_.bump_activity(idx, old.activity(c));
+    }
+  }
+  return evicted;
+}
+
+void ImplicationEngine::tier_sizes(long* core, long* mid, long* local) const {
+  for (std::size_t c = 0; c < arena_.size(); ++c) {
+    switch (base::ClauseArena::tier_of(arena_.lbd(c))) {
+      case base::ClauseTier::Core:
+        ++*core;
+        break;
+      case base::ClauseTier::Mid:
+        ++*mid;
+        break;
+      case base::ClauseTier::Local:
+        ++*local;
+        break;
+    }
+  }
+}
+
+int ImplicationEngine::minimize_nogood(std::vector<base::ClauseLit>* lits) {
+  GDF_ASSERT(!conflict_, "minimize_nogood needs a conflict-free root");
+  int removed = 0;
+  // Greedy self-subsumption: drop one literal at a time; a drop is sound
+  // when the remaining literals alone re-derive a conflict by rule
+  // replay from this root state (monotonicity: anything true under the
+  // survivors is true under the full set, so the survivors are already a
+  // nogood). Later candidates are tested against the already-shrunk set,
+  // so the result is subset-minimal w.r.t. this (deterministic) order.
+  for (std::size_t i = 0; i < lits->size() && lits->size() > 1;) {
+    const std::size_t m = mark();
+    bool conflicted = false;
+    for (std::size_t k = 0; k < lits->size(); ++k) {
+      if (k == i) {
+        continue;
+      }
+      if (!assign((*lits)[k].node, (*lits)[k].allowed)) {
+        conflicted = true;
+        break;
+      }
+    }
+    rollback(m);
+    if (conflicted) {
+      lits->erase(lits->begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  return removed;
 }
 
 void ImplicationEngine::add_pending(NodeId n, std::uint8_t bits) {
@@ -432,6 +562,7 @@ bool ImplicationEngine::process(NodeId id, std::uint8_t pend) {
 bool ImplicationEngine::analyze(Analysis* out, SharedExtract* shared) {
   out->lits.clear();
   out->levels.clear();
+  out->lit_levels.clear();
   out->cone_clean = false;
   if (!conflict_ || level_marks_.empty()) {
     return false;
@@ -507,6 +638,8 @@ bool ImplicationEngine::analyze(Analysis* out, SharedExtract* shared) {
     }
     if (e.why == Why::External) {
       out->lits.push_back({e.node, static_cast<VSet>(e.reason)});
+      out->lit_levels.emplace_back(e.node,
+                                   static_cast<std::uint32_t>(lvl));
       level_flags_[lvl] = 1;
     } else {
       resolve_rule(e);
@@ -563,6 +696,21 @@ bool ImplicationEngine::analyze(Analysis* out, SharedExtract* shared) {
     }
     shared->footprint = marked_nodes_;
     std::sort(shared->footprint.begin(), shared->footprint.end());
+  }
+  // EVSIDS bump: every node on the conflict side (marked during the walk)
+  // gains the current increment, then the increment grows — a geometric
+  // decay of all other activities without touching them. Purely per-fault
+  // state (reset by init), so decision ordering derived from it stays a
+  // deterministic function of this search's own conflict history.
+  for (const NodeId n : marked_nodes_) {
+    activity_[n] += act_inc_;
+  }
+  act_inc_ *= (1.0 / 0.95);
+  if (act_inc_ > 1e100) {
+    for (double& a : activity_) {
+      a *= 1e-100;
+    }
+    act_inc_ *= 1e-100;
   }
   out->cone_clean = cone_clean;
   return !out->lits.empty();

@@ -55,6 +55,13 @@ struct Analysis {
   std::vector<base::ClauseLit> lits;
   /// Sorted unique decision levels (1-based) involved in the conflict.
   std::vector<std::uint32_t> levels;
+  /// Raw (node, level) of every decision-level external entry that became
+  /// a literal, pre-merge — one node can appear at several levels (its set
+  /// was split more than once). Lets a caller that drops literals (clause
+  /// minimization) recompute `levels` for the survivors: a level stays
+  /// involved iff some surviving node has an entry there. levels.size()
+  /// of the surviving set is the clause's LBD.
+  std::vector<std::pair<alg::NodeId, std::uint32_t>> lit_levels;
   /// True when the derivation never touched the fault cone or the site
   /// transform — a candidate for cross-fault sharing.
   bool cone_clean = false;
@@ -159,17 +166,49 @@ class ImplicationEngine {
   /// out->cone_clean holds). Returns false when there is nothing to analyze.
   bool analyze(Analysis* out, SharedExtract* shared = nullptr);
 
-  /// Adds a nogood clause and wires it into the watch lists at the current
-  /// state. Returns the clause index, or ClauseArena::kNone when every
-  /// literal already holds (the caller should treat the state as conflicted
-  /// — cannot happen at a conflict-free fixpoint for a valid clause).
-  std::size_t add_clause(std::span<const base::ClauseLit> lits);
+  /// Adds a nogood clause stamped with its LBD and wires it into the watch
+  /// lists at the current state. Returns the clause index, or
+  /// ClauseArena::kNone when every literal already holds (the caller should
+  /// treat the state as conflicted — cannot happen at a conflict-free
+  /// fixpoint for a valid clause).
+  std::size_t add_clause(std::span<const base::ClauseLit> lits,
+                         std::uint32_t lbd = 0);
 
   /// The clauses learned so far — copy into a sibling search over the same
   /// fault via import_clauses (pins only narrow the sibling's level-0 state,
   /// so every clause stays valid there).
   const base::ClauseArena& clauses() const { return arena_; }
   void import_clauses(const base::ClauseArena& src);
+
+  /// Tiered clause-database reduction (call only at a conflict-free
+  /// fixpoint, e.g. right after a backjump): keeps every core clause
+  /// (LBD≤2) unconditionally and the best `keep_target` − core of the rest
+  /// by (LBD ascending, activity descending, newer first), rebuilds the
+  /// arena and the watch lists, and returns how many clauses were evicted.
+  /// Evicting a clause never changes behavior beyond speed — firings are
+  /// pure shortcuts.
+  std::size_t reduce_clauses(std::size_t keep_target);
+
+  /// Final tier composition of the clause database (core / mid / local by
+  /// LBD) — the search folds this into its counters at destruction.
+  void tier_sizes(long* core, long* mid, long* local) const;
+
+  /// EVSIDS node activity: every conflict analysis bumps the nodes on the
+  /// conflict side (all marked nodes) and geometrically decays the rest by
+  /// growing the increment. Drives the search's decision ordering; reset
+  /// by init()/init_from() so each fault's trajectory is self-contained
+  /// (and with it byte-deterministic at any worker count).
+  double activity(alg::NodeId n) const { return activity_[n]; }
+
+  /// Greedy replay-based nogood minimization: for each literal in turn,
+  /// drops it when re-asserting the remaining literals on *this* engine
+  /// still derives a conflict through the implication rules alone. Call on
+  /// a conflict-free clause-free scratch engine settled at the nogood's
+  /// root state (same fault, same level-0 externals as the learner): the
+  /// rules are monotone, so a conflict under a subset of the literals
+  /// proves that subset is itself a nogood there. Restores the engine's
+  /// state before returning; returns the number of literals removed.
+  int minimize_nogood(std::vector<base::ClauseLit>* lits);
 
  private:
   /// Which rule produced a trail entry (for conflict resolution).
@@ -257,6 +296,13 @@ class ImplicationEngine {
   /// False until the first clause is wired — lets narrow() skip the watch
   /// probe entirely on clause-free searches.
   bool watching_ = false;
+  /// EVSIDS clause-activity increment: firing clauses bump by cla_inc_,
+  /// which grows per conflict (geometric decay of everyone else).
+  double cla_inc_ = 1.0;
+
+  // EVSIDS node activities (see activity()).
+  std::vector<double> activity_;
+  double act_inc_ = 1.0;
 
   // Analysis scratch, epoch-stamped so each analyze() starts clean in O(1).
   // A mark means the node's fact is relevant to the conflict; marks are

@@ -25,6 +25,9 @@ TdgenSearch::TdgenSearch(const alg::AtpgModel& model,
   GDF_ASSERT(fault.line < model.netlist().size(), "fault line out of range");
   spec_.site = model.head_of(fault.line);
   spec_.slow_to_rise = fault.slow_to_rise;
+  if (options_.learn && options_.vsids) {
+    saved_phase_.assign(model.node_count(), kEmptySet);
+  }
   if (options_.shared_cone != nullptr) {
     // A re-entry over the same fault line reuses the first search's cone.
     cone_ = options_.shared_cone;
@@ -54,6 +57,14 @@ TdgenSearch::~TdgenSearch() {
   tally.clause_hits = engine_.counters().clause_hits;
   tally.learned = learned_;
   tally.backjump_levels_skipped = backjump_levels_skipped_;
+  tally.restarts = restarts_;
+  tally.clause_reductions = clause_reductions_;
+  tally.minimized_lits = minimized_lits_;
+  tally.lbd_le2 = lbd_le2_;
+  tally.lbd_3_6 = lbd_3_6_;
+  tally.lbd_gt6 = lbd_gt6_;
+  engine_.tier_sizes(&tally.clause_db_core, &tally.clause_db_mid,
+                     &tally.clause_db_local);
   options_.tally->add(tally);
 }
 
@@ -67,6 +78,48 @@ void TdgenSearch::require_observation(NodeId obs_node) {
   required_obs_ = obs_node;
 }
 
+bool TdgenSearch::apply_root_constraints(ImplicationEngine* engine) const {
+  // Activation: the site must expose the carrier of the targeted
+  // transition.
+  const VSet carrier = alg::vset_of(
+      fault_.slow_to_rise ? V8::RiseC : V8::FallC);
+  if (!engine->assign(spec_.site, carrier)) {
+    return false;
+  }
+  for (const PpoPin& pin : pins_) {
+    if (!engine->assign(model_->ppo_node(pin.dff_index), pin.allowed)) {
+      return false;
+    }
+  }
+  if (required_obs_.has_value() &&
+      !engine->assign(*required_obs_, kCarrierSet)) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// luby(0), luby(1), … = 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 … — the classic
+/// reluctant-doubling sequence (finite-subsequence reshuffling of powers
+/// of two). Restart k waits base·luby(k) conflicts.
+long luby(long x) {
+  long size = 1;
+  long seq = 0;
+  while (size < x + 1) {
+    size = 2 * size + 1;
+    ++seq;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x = x % size;
+  }
+  return 1L << seq;
+}
+
+}  // namespace
+
 bool TdgenSearch::start() {
   if (options_.init_donor == nullptr ||
       !engine_.init_from(*options_.init_donor, spec_)) {
@@ -75,24 +128,40 @@ bool TdgenSearch::start() {
   if (engine_.conflict()) {
     return false;
   }
-  // Activation: the site must expose the carrier of the targeted
-  // transition.
-  const VSet carrier = alg::vset_of(
-      fault_.slow_to_rise ? V8::RiseC : V8::FallC);
-  if (!engine_.assign(spec_.site, carrier)) {
-    return false;
-  }
-  for (const PpoPin& pin : pins_) {
-    if (!engine_.assign(model_->ppo_node(pin.dff_index), pin.allowed)) {
-      return false;
-    }
-  }
-  if (required_obs_.has_value() &&
-      !engine_.assign(*required_obs_, kCarrierSet)) {
+  if (!apply_root_constraints(&engine_)) {
     return false;
   }
   import_shared_clauses();
+  if (options_.learn && options_.restarts == RestartPolicy::Luby) {
+    restart_threshold_ = static_cast<long>(options_.restart_base) * luby(0);
+  }
   return true;
+}
+
+bool TdgenSearch::restart() {
+  while (!stack_.empty()) {
+    engine_.pop_level();
+    stack_.pop_back();
+  }
+  cbj_cur_.clear();
+  ++restarts_;
+  conflicts_since_restart_ = 0;
+  restart_threshold_ =
+      static_cast<long>(options_.restart_base) * luby(restarts_);
+  // The root state was conflict-free at start() and popping levels only
+  // restores it; clauses fire during propagation, of which there is none
+  // here. The check is a pure safety net.
+  return !engine_.conflict();
+}
+
+bool TdgenSearch::maybe_restart() {
+  if (options_.restarts != RestartPolicy::Luby || !options_.learn) {
+    return true;
+  }
+  if (conflicts_since_restart_ < restart_threshold_) {
+    return true;
+  }
+  return restart();
 }
 
 void TdgenSearch::import_shared_clauses() {
@@ -420,6 +489,9 @@ bool TdgenSearch::push_decision(NodeId node, VSet try_set) {
   GDF_ASSERT(try_set != kEmptySet && try_set != current,
              "decision must strictly split a set");
   ++decisions_;
+  if (options_.learn && options_.vsids) {
+    saved_phase_[node] = try_set;
+  }
   engine_.push_level();
   stack_.push_back({node, static_cast<VSet>(current & ~try_set)});
   if (options_.learn) {
@@ -437,9 +509,15 @@ bool TdgenSearch::push_decision(NodeId node, VSet try_set) {
 }
 
 bool TdgenSearch::choose_decision() {
+  const bool vsids = options_.learn && options_.vsids;
   // 1. Extend the fault-effect path: a node that could still become a
   // carrier, is not one yet, and has a definite-carrier input. The cone is
-  // pre-sorted nearest-observation-first.
+  // pre-sorted nearest-observation-first; under --learn the EVSIDS node
+  // activity overrides that order (strictly greater activity wins, so an
+  // all-zero table — e.g. before the first conflict — reproduces the
+  // static order exactly).
+  NodeId best = alg::kNoNode;
+  double best_act = 0.0;
   for (const NodeId id : *cone_) {
     const VSet s = engine_.get(id);
     if ((s & kCarrierSet) == 0 || (s & ~kCarrierSet) == 0) {
@@ -459,21 +537,49 @@ bool TdgenSearch::choose_decision() {
     if (!definite_carrier(n.in0) && !definite_carrier(n.in1)) {
       continue;
     }
-    return push_decision(id, static_cast<VSet>(s & kCarrierSet));
+    if (!vsids) {
+      return push_decision(id, static_cast<VSet>(s & kCarrierSet));
+    }
+    if (best == alg::kNoNode || engine_.activity(id) > best_act) {
+      best = id;
+      best_act = engine_.activity(id);
+    }
+  }
+  if (best != alg::kNoNode) {
+    return push_decision(
+        best, static_cast<VSet>(engine_.get(best) & kCarrierSet));
   }
   // 2. Split a primary: singleton-first, deterministic order. Values are
   // tried steady-first (0, 1, R, F) which empirically keeps off-path
-  // conditions simple.
+  // conditions simple; under --learn the activity order takes precedence
+  // and a saved phase (the subset this node last branched to) is retried
+  // before the static first-value choice.
+  best = alg::kNoNode;
+  best_act = 0.0;
   for (const auto& group : {model_->pis(), model_->ppis()}) {
     for (const NodeId id : group) {
       const VSet s = engine_.get(id);
       if (alg::vset_size(s) <= 1) {
         continue;
       }
-      return push_decision(id, alg::vset_of(alg::vset_first(s)));
+      if (!vsids) {
+        return push_decision(id, alg::vset_of(alg::vset_first(s)));
+      }
+      if (best == alg::kNoNode || engine_.activity(id) > best_act) {
+        best = id;
+        best_act = engine_.activity(id);
+      }
     }
   }
-  return false;
+  if (best == alg::kNoNode) {
+    return false;
+  }
+  const VSet s = engine_.get(best);
+  const VSet phase = static_cast<VSet>(saved_phase_[best] & s);
+  const VSet try_set = phase != kEmptySet && phase != s
+                           ? phase
+                           : alg::vset_of(alg::vset_first(s));
+  return push_decision(best, try_set);
 }
 
 void TdgenSearch::prepare_lift_order() {
@@ -567,6 +673,9 @@ bool TdgenSearch::backtrack(const std::vector<std::uint8_t>* involved) {
     if (d.rest != kEmptySet) {
       const VSet rest = d.rest;
       d.rest = kEmptySet;
+      if (options_.vsids) {
+        saved_phase_[d.node] = rest;  // the flip is the branch now taken
+      }
       engine_.assign(d.node, rest);
       return true;
     }
@@ -623,27 +732,103 @@ bool TdgenSearch::conflict_backtrack() {
       }
       if (shared_published_.insert(std::move(key)).second) {
         options_.shared_publish->publish(
-            {std::move(lits), shared_extract_.footprint});
+            {std::move(lits), shared_extract_.footprint,
+             static_cast<std::uint32_t>(analysis_.levels.size())});
       }
     }
   }
 
+  ++conflicts_since_restart_;
   involved_levels_.assign(stack_.size() + 1, 0);
   for (const std::uint32_t lvl : analysis_.levels) {
     if (lvl < involved_levels_.size()) {
       involved_levels_[lvl] = 1;
     }
   }
+  // LBD at learn time: distinct decision levels the nogood spans (the
+  // shared clause above deliberately kept the unminimized literal set —
+  // the minimization proof below is local to this fault's root state).
+  std::uint32_t lbd = static_cast<std::uint32_t>(analysis_.levels.size());
+  // Each candidate literal costs one scratch-engine replay, so only short
+  // clauses are worth polishing: they fire most often and drop literals
+  // most often. Past ~4 literals the replay time exceeds what the sweep
+  // gets back in pruning (measured on s1196/s1238).
+  static constexpr std::size_t kMaxMinimizeLits = 4;
+  if (options_.minimize && analysis_.lits.size() > 1 &&
+      analysis_.lits.size() <= kMaxMinimizeLits) {
+    lbd = minimize_learned(lbd);
+  }
   if (!backtrack(&involved_levels_)) {
     return false;
   }
-  // Learn at the post-jump state (the flipped literal is false again
-  // there, so the clause always has a watchable literal).
-  if (learned_ < options_.learned_limit &&
-      engine_.add_clause(analysis_.lits) != base::ClauseArena::kNone) {
+  // Learn at the post-jump state (the backjump flipped a decision at one
+  // of the clause's involved levels, so a literal is false again and the
+  // clause has a watch).
+  if (engine_.add_clause(analysis_.lits, lbd) != base::ClauseArena::kNone) {
     ++learned_;
+    if (lbd <= base::ClauseArena::kCoreLbd) {
+      ++lbd_le2_;
+    } else if (lbd <= base::ClauseArena::kMidLbd) {
+      ++lbd_3_6_;
+    } else {
+      ++lbd_gt6_;
+    }
   }
-  return true;
+  // Tiered database reduction once past the budget — only at a
+  // conflict-free state (the flip's propagation may have conflicted
+  // again, in which case the next analysis round gets here first).
+  if (!engine_.conflict() &&
+      engine_.clauses().size() >
+          static_cast<std::size_t>(options_.learned_limit) &&
+      engine_.reduce_clauses(
+          static_cast<std::size_t>(options_.learned_limit) / 2) > 0) {
+    ++clause_reductions_;
+  }
+  return maybe_restart();
+}
+
+std::uint32_t TdgenSearch::minimize_learned(std::uint32_t lbd) {
+  if (minimize_engine_ == nullptr && !minimize_engine_failed_) {
+    // The scratch engine reproduces this search's root state (post-init
+    // fixpoint + activation/pins/required-observation) and never learns
+    // clauses, so its narrowings are pure rule replay — exactly what the
+    // minimization proof needs.
+    auto scratch = std::make_unique<ImplicationEngine>(*model_, *algebra_);
+    if (!scratch->init_from(engine_, spec_)) {
+      scratch->init(spec_);
+    }
+    if (scratch->conflict() || !apply_root_constraints(scratch.get())) {
+      minimize_engine_failed_ = true;  // cannot happen after start(); safety
+    } else {
+      minimize_engine_ = std::move(scratch);
+    }
+  }
+  if (minimize_engine_ == nullptr) {
+    return lbd;
+  }
+  const int removed = minimize_engine_->minimize_nogood(&analysis_.lits);
+  if (removed <= 0) {
+    return lbd;
+  }
+  minimized_lits_ += removed;
+  // Recompute the involved levels from the survivors: a level stays in
+  // the backjump set iff some surviving node was split there. Every
+  // survivor is a decision-level external, so the set cannot go empty.
+  std::vector<std::uint8_t> shrunk(involved_levels_.size(), 0);
+  std::uint32_t new_lbd = 0;
+  for (const base::ClauseLit& lit : analysis_.lits) {
+    for (const auto& [node, level] : analysis_.lit_levels) {
+      if (node == lit.node && level < shrunk.size() && shrunk[level] == 0) {
+        shrunk[level] = 1;
+        ++new_lbd;
+      }
+    }
+  }
+  if (new_lbd == 0) {
+    return lbd;  // defensive: keep the unminimized backjump set
+  }
+  involved_levels_ = std::move(shrunk);
+  return new_lbd;
 }
 
 TdgenStatus TdgenSearch::exhausted_status() const {

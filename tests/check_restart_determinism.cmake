@@ -1,0 +1,87 @@
+# End-to-end guarantees of the restart policy (--restarts):
+#
+#  1. --restarts off --learn off is the committed pre-learning golden
+#     path: the sweep's CSV must equal tests/golden_catalog_learn_off.csv
+#     (the restart machinery is inert without learning, but this pins the
+#     flag combination explicitly).
+#  2. Luby restarts are deterministic: --restarts luby emits the same
+#     bytes — verdicts AND pattern counts — at --jobs 1, --jobs 4, and
+#     --jobs 4 --shard-faults 4. The trigger counts only each fault's own
+#     analyzed conflicts, so worker scheduling cannot move a restart.
+#  3. A non-default --restart-base is equally worker-independent.
+#
+# Registered by tests/CMakeLists.txt as two ctests:
+#   * cli_restart_determinism       — SCOPE=full: the whole catalog.
+#   * cli_restart_determinism_small — SCOPE=small: three cheap circuits,
+#     fast enough for the ThreadSanitizer CI job.
+#
+# Usage: cmake -DGDF_ATPG=<path> -DGOLDEN=<csv> -DSCOPE=<full|small> -P
+#        check_restart_determinism.cmake
+
+if(SCOPE STREQUAL "small")
+  set(circuits --circuit s27 --circuit s298 --circuit c17)
+else()
+  set(circuits --all)
+endif()
+set(base_args ${circuits} --csv --no-seconds)
+
+function(run_sweep out_var)
+  execute_process(
+    COMMAND ${GDF_ATPG} ${base_args} ${ARGN}
+    OUTPUT_VARIABLE out
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gdf_atpg ${base_args} ${ARGN} failed (rc=${rc})")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# --- 1. --restarts off --learn off against the committed golden -------------
+run_sweep(off_out --restarts off --learn off)
+file(READ ${GOLDEN} golden_all)
+if(SCOPE STREQUAL "small")
+  string(REPLACE "\n" ";" golden_lines "${golden_all}")
+  set(golden "circuit,tested,untestable,aborted,patterns\n")
+  foreach(line IN LISTS golden_lines)
+    if(line MATCHES "^(s27|s298|c17),")
+      string(APPEND golden "${line}\n")
+    endif()
+  endforeach()
+else()
+  set(golden "${golden_all}")
+endif()
+if(NOT off_out STREQUAL golden)
+  message(FATAL_ERROR "--restarts off --learn off no longer matches the "
+                      "golden catalog:\n"
+                      "=== --restarts off --learn off ===\n${off_out}\n"
+                      "=== golden ===\n${golden}")
+endif()
+
+# --- 2. luby restarts are worker/shard independent --------------------------
+run_sweep(luby_j1 --restarts luby --jobs 1)
+run_sweep(luby_j4 --restarts luby --jobs 4)
+if(NOT luby_j1 STREQUAL luby_j4)
+  message(FATAL_ERROR "--restarts luby rows depend on --jobs:\n"
+                      "=== jobs 1 ===\n${luby_j1}\n"
+                      "=== jobs 4 ===\n${luby_j4}")
+endif()
+run_sweep(luby_shard --restarts luby --jobs 4 --shard-faults 4)
+if(NOT luby_j1 STREQUAL luby_shard)
+  message(FATAL_ERROR "--restarts luby rows depend on --shard-faults:\n"
+                      "=== sequential ===\n${luby_j1}\n"
+                      "=== sharded ===\n${luby_shard}")
+endif()
+
+# --- 3. a non-default restart base is equally deterministic -----------------
+run_sweep(base8_j1 --restarts luby --restart-base 8 --jobs 1)
+run_sweep(base8_shard --restarts luby --restart-base 8
+          --jobs 4 --shard-faults 4)
+if(NOT base8_j1 STREQUAL base8_shard)
+  message(FATAL_ERROR "--restart-base 8 rows depend on sharding:\n"
+                      "=== sequential ===\n${base8_j1}\n"
+                      "=== sharded ===\n${base8_shard}")
+endif()
+
+message(STATUS "restart determinism holds: --restarts off --learn off "
+               "matches the golden and luby rows are byte-identical at "
+               "every worker count and sharding")

@@ -55,6 +55,8 @@ TEST(ArgsTest, UsageMentionsNewFlags) {
   EXPECT_NE(text.find("--adi-sequences"), std::string::npos);
   EXPECT_NE(text.find("--learn"), std::string::npos);
   EXPECT_NE(text.find("--learned-limit"), std::string::npos);
+  EXPECT_NE(text.find("--restarts"), std::string::npos);
+  EXPECT_NE(text.find("--restart-base"), std::string::npos);
 }
 
 TEST(ArgsTest, LaneWidthChoices) {
@@ -90,6 +92,20 @@ TEST(ArgsTest, LearnModeChoices) {
   EXPECT_EQ(parse({"--all"}).atpg.learned_limit, 512);
   EXPECT_EQ(parse({"--all", "--learned-limit", "64"}).atpg.learned_limit,
             64);
+}
+
+TEST(ArgsTest, RestartPolicyChoices) {
+  EXPECT_EQ(parse({"--all"}).atpg.local.restarts,
+            tdgen::RestartPolicy::Luby);
+  EXPECT_EQ(parse({"--all", "--restarts", "luby"}).atpg.local.restarts,
+            tdgen::RestartPolicy::Luby);
+  EXPECT_EQ(parse({"--all", "--restarts", "off"}).atpg.local.restarts,
+            tdgen::RestartPolicy::Off);
+  EXPECT_THROW(parse({"--all", "--restarts", "geometric"}), Error);
+  EXPECT_EQ(parse({"--all"}).atpg.local.restart_base, 32);
+  EXPECT_EQ(parse({"--all", "--restart-base", "8"}).atpg.local.restart_base,
+            8);
+  EXPECT_THROW(parse({"--all", "--restart-base", "0"}), Error);
 }
 
 TEST(ArgsTest, AdiSequenceBudget) {

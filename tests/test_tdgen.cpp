@@ -265,7 +265,10 @@ TEST(ConflictDrivenSearch, BackjumpOnlyConvertsAborts) {
   // conflicts the implication fixpoint reaches anyway — so against the
   // chronological search (--learn off) a learn-enabled search may convert
   // an abort into a verdict but never flip one, and when both find a test
-  // it is the *same* test (identical depth-first order elsewhere).
+  // it is the *same* test (identical depth-first order elsewhere). The
+  // identity argument needs the learn-on search to keep the static
+  // decision order, so activity ordering and restarts are pinned off —
+  // clause learning, CBJ and minimization all stay on.
   for (const char* name : {"s27", "s208"}) {
     const net::Netlist nl =
         net::expand_fanout_branches(circuits::load_circuit(name));
@@ -279,6 +282,8 @@ TEST(ConflictDrivenSearch, BackjumpOnlyConvertsAborts) {
       const TdgenStatus s_off = chrono.next(&t_off);
 
       TdgenOptions on;  // learn defaults to true
+      on.vsids = false;
+      on.restarts = RestartPolicy::Off;
       on.tally = &tally;
       TdgenSearch cbj(model, robust_algebra(), f, on);
       LocalTest t_on;
@@ -317,6 +322,8 @@ TEST(ConflictDrivenSearch, ProbeMemoMatchesResimulation) {
     off.learn = false;
     TdgenSearch chrono(model, robust_algebra(), f, off);
     TdgenOptions on;
+    on.vsids = false;  // keep the chronological decision order (see above)
+    on.restarts = RestartPolicy::Off;
     on.tally = &tally;
     TdgenSearch memo(model, robust_algebra(), f, on);
     for (int round = 0; round < 4; ++round) {
@@ -337,6 +344,121 @@ TEST(ConflictDrivenSearch, ProbeMemoMatchesResimulation) {
     }
   }
   EXPECT_GT(tally.probe_memo_hits, 0);
+}
+
+TEST(ConflictDrivenSearch, RestartsNeverContradictVerdicts) {
+  // Restarts abandon a descent but keep every learned clause, so the
+  // explored space is only re-ordered — a definite verdict from the
+  // chronological search must survive any restart schedule. A tiny
+  // restart base forces restarts to actually fire across the sweep.
+  SearchCounters tally;
+  for (const char* name : {"s27", "s208"}) {
+    const net::Netlist nl =
+        net::expand_fanout_branches(circuits::load_circuit(name));
+    const AtpgModel model(nl);
+    for (const DelayFault& f : enumerate_faults(nl)) {
+      TdgenOptions off;
+      off.learn = false;
+      TdgenSearch chrono(model, robust_algebra(), f, off);
+      LocalTest t_off;
+      const TdgenStatus s_off = chrono.next(&t_off);
+
+      TdgenOptions on;  // learn + vsids + luby restarts (defaults)
+      on.restart_base = 2;
+      on.tally = &tally;
+      TdgenSearch restarting(model, robust_algebra(), f, on);
+      LocalTest t_on;
+      const TdgenStatus s_on = restarting.next(&t_on);
+
+      // Verdicts may shift only through the abort budget: a definite
+      // verdict on both sides must agree (the search space is the same;
+      // clauses and restarts only re-order its exploration).
+      if (s_off != TdgenStatus::Aborted && s_on != TdgenStatus::Aborted) {
+        EXPECT_EQ(s_on, s_off) << fault_name(nl, f);
+      }
+    }
+  }
+  EXPECT_GT(tally.restarts, 0);
+}
+
+TEST(ConflictDrivenSearch, MinimizationOnlyShrinksClauses) {
+  // Replay-based minimization drops literals whose removal still replays
+  // to a conflict — the stored clause is a subset nogood, so the search
+  // outcome per fault must stay a valid verdict and the counters must
+  // show literals actually removed somewhere in the sweep.
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::load_circuit("s208"));
+  const AtpgModel model(nl);
+  SearchCounters with_min, without_min;
+  for (const DelayFault& f : enumerate_faults(nl)) {
+    TdgenOptions plain;
+    plain.vsids = false;
+    plain.restarts = RestartPolicy::Off;
+    plain.minimize = false;
+    plain.tally = &without_min;
+    TdgenSearch a(model, robust_algebra(), f, plain);
+    LocalTest t_a;
+    const TdgenStatus s_a = a.next(&t_a);
+
+    TdgenOptions minimizing;
+    minimizing.vsids = false;
+    minimizing.restarts = RestartPolicy::Off;
+    minimizing.minimize = true;
+    minimizing.tally = &with_min;
+    TdgenSearch b(model, robust_algebra(), f, minimizing);
+    LocalTest t_b;
+    const TdgenStatus s_b = b.next(&t_b);
+
+    // Minimized clauses prune only solution-free subtrees (the subset is
+    // itself a nogood), so definite verdicts must agree. Earlier firings
+    // do change where the backtrack budget is spent, so an abort on one
+    // side may be a definite verdict on the other — that conversion is
+    // the point of minimizing.
+    if (s_a != TdgenStatus::Aborted && s_b != TdgenStatus::Aborted) {
+      ASSERT_EQ(s_b, s_a) << fault_name(nl, f);
+      if (s_a == TdgenStatus::TestFound) {
+        EXPECT_EQ(t_b.pi_sets, t_a.pi_sets) << fault_name(nl, f);
+        EXPECT_EQ(t_b.ppi_sets, t_a.ppi_sets) << fault_name(nl, f);
+      }
+    }
+  }
+  EXPECT_EQ(without_min.minimized_lits, 0);
+  EXPECT_GT(with_min.minimized_lits, 0);
+}
+
+TEST(ConflictDrivenSearch, ClauseDatabaseStaysBounded) {
+  // A tiny clause budget forces tiered reductions; the end-of-search
+  // database must respect the budget's order of magnitude (core clauses
+  // may exceed it in principle, but not on these circuits) and the
+  // reduction counter must show passes actually ran.
+  const net::Netlist nl =
+      net::expand_fanout_branches(circuits::load_circuit("s208"));
+  const AtpgModel model(nl);
+  SearchCounters tally;
+  bool any_reduced = false;
+  for (const DelayFault& f : enumerate_faults(nl)) {
+    SearchCounters one;
+    TdgenOptions options;
+    options.learned_limit = 8;
+    options.tally = &one;
+    {
+      TdgenSearch search(model, robust_algebra(), f, options);
+      LocalTest t;
+      search.next(&t);
+    }
+    const long db = one.clause_db_core + one.clause_db_mid +
+                    one.clause_db_local;
+    if (one.clause_reductions > 0) {
+      any_reduced = true;
+      // Reductions fire past the budget but only at conflict-free
+      // states; every deferral consumes a backtrack, so the overshoot is
+      // bounded by the backtrack budget.
+      EXPECT_LE(db, 8 + options.backtrack_limit) << fault_name(nl, f);
+    }
+    tally.add(one);
+  }
+  EXPECT_TRUE(any_reduced);
+  EXPECT_GT(tally.clause_reductions, 0);
 }
 
 TEST(TdgenNonRobust, RelaxedModeFindsAtLeastAsMany) {
