@@ -100,6 +100,21 @@ for mode in off on shared; do
   declare "LEARN_WALL_$mode=$(echo "$TB $TA" | awk '{printf "%.3f", $1 - $2}')"
 done
 
+# Deterministic budget leg (the robustness PR): the same two tails under
+# --fault-budget, recording how many faults the assignment cap aborts and
+# what the capped sweep costs. Unlike --per-fault-seconds this keeps
+# sharding on and produces identical bytes at any jobs value, so the
+# abort count is comparable across PRs on any hardware.
+FAULT_BUDGET=5000
+echo "run_benchmarks: s1196+s1238 with --fault-budget $FAULT_BUDGET ..." >&2
+T6=$(date +%s.%N)
+CSV_BUDGET_RAW=$("$GDF_ATPG" $BIG --csv --jobs "$JOBS" \
+  --fault-budget "$FAULT_BUDGET" --stages)
+T7=$(date +%s.%N)
+CSV_BUDGET=$(echo "$CSV_BUDGET_RAW" | grep -v '^ ')
+STAGES_BUDGET=$(echo "$CSV_BUDGET_RAW" | grep '^ ' || true)
+WALL_BUDGET=$(echo "$T7 $T6" | awk '{printf "%.3f", $1 - $2}')
+
 # ADI ordering budget trade-off (satellite of the backend PR): the
 # sampling-based fault order spends adi_sequences random sequences per
 # estimate. Sweep the budget on two mid-size circuits and record how
@@ -130,6 +145,8 @@ CSV_J1="$CSV_J1" CSV_JN="$CSV_JN" JOBS="$JOBS" HW="$HW" \
   WALL_J1="$WALL_J1" WALL_JN="$WALL_JN" \
   WALL_BIG_OFF="$WALL_BIG_OFF" WALL_BIG_SHARD="$WALL_BIG_SHARD" \
   STAGES_BIG="$STAGES_BIG" \
+  FAULT_BUDGET="$FAULT_BUDGET" CSV_BUDGET="$CSV_BUDGET" \
+  STAGES_BUDGET="$STAGES_BUDGET" WALL_BUDGET="$WALL_BUDGET" \
   LEARN_CSV_off="$LEARN_CSV_off" LEARN_WALL_off="$LEARN_WALL_off" \
   LEARN_CSV_on="$LEARN_CSV_on" LEARN_WALL_on="$LEARN_WALL_on" \
   LEARN_CSV_shared="$LEARN_CSV_shared" LEARN_WALL_shared="$LEARN_WALL_shared" \
@@ -307,6 +324,28 @@ for mode in ("off", "on", "shared"):
         "patterns": sum(r["patterns"] for r in rows),
     })
 
+# The fault-budget leg (the robustness PR): the abort-attribution line
+# from --stages splits aborts by cause; the budget column counts faults
+# the deterministic assignment cap cut off. Byte-identical at any jobs
+# or sharding value, so the counts diff cleanly across PRs.
+budget_rows = parse(os.environ["CSV_BUDGET"])
+budget_aborts = {"local": 0, "sequential": 0, "time": 0, "budget": 0}
+for m in re.finditer(
+        r"aborts\s+local (\d+), sequential (\d+), time (\d+), budget (\d+)",
+        os.environ.get("STAGES_BUDGET", "")):
+    budget_aborts["local"] += int(m.group(1))
+    budget_aborts["sequential"] += int(m.group(2))
+    budget_aborts["time"] += int(m.group(3))
+    budget_aborts["budget"] += int(m.group(4))
+fault_budget = {
+    "budget_assignments": int(os.environ["FAULT_BUDGET"]),
+    "wall_seconds": float(os.environ["WALL_BUDGET"]),
+    "tested": sum(r["tested"] for r in budget_rows),
+    "untestable": sum(r["untestable"] for r in budget_rows),
+    "aborted": sum(r["aborted"] for r in budget_rows),
+    "aborted_by_cause": budget_aborts,
+}
+
 # The ADI budget sweep: coverage/runtime versus sample count.
 adi_budget = []
 for budget in (2, 8, 16):
@@ -356,6 +395,9 @@ report = {
     "sim_lanes": int(backend_m.group(2)) if backend_m else None,
     "sim_kernel_evals_s1196_s1238": sim_kernel,
     "lane_ladder": lane_ladder,
+    # The robustness PR: the same tails under a deterministic per-fault
+    # assignment cap, with aborts attributed by cause.
+    "fault_budget_s1196_s1238": fault_budget,
     "adi_budget": adi_budget,
     # Sum of per-circuit times at --jobs 1: the work metric comparable
     # with pre-parallelism PRs (their total_seconds).

@@ -1,0 +1,35 @@
+// Cooperative cancellation. A CancelToken is a one-way latch: request()
+// is async-signal-safe (a lock-free atomic store), so a SIGINT/SIGTERM
+// handler may fire it directly; long-running loops poll requested() and
+// unwind via throw_cancelled() (see base/error.hpp). The token carries no
+// callbacks and owns nothing — holders keep a const pointer and treat
+// nullptr as "cancellation not wired".
+#pragma once
+
+#include <atomic>
+
+namespace gdf {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Latches the request. Safe from signal handlers and any thread.
+  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+  bool requested() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// True when `token` is wired and has fired.
+inline bool cancel_requested(const CancelToken* token) noexcept {
+  return token != nullptr && token->requested();
+}
+
+}  // namespace gdf

@@ -21,10 +21,34 @@ void assert_fail(const char* expr, const char* file, int line,
 
 }  // namespace detail
 
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::Input:
+      return "input";
+    case ErrorKind::Resource:
+      return "resource";
+    case ErrorKind::Internal:
+      return "internal";
+    case ErrorKind::Cancelled:
+      return "cancelled";
+  }
+  return "internal";
+}
+
 void check(bool cond, const std::string& message) {
   if (!cond) {
     throw Error(message);
   }
+}
+
+void check_resource(bool cond, const std::string& message) {
+  if (!cond) {
+    throw Error(ErrorKind::Resource, message);
+  }
+}
+
+void throw_cancelled() {
+  throw Error(ErrorKind::Cancelled, "cancelled");
 }
 
 }  // namespace gdf

@@ -1,21 +1,45 @@
 // Error handling primitives shared by all gdfatpg modules.
 //
-// Two categories of failure exist in this code base:
-//  * user-facing errors (bad netlist file, inconsistent options) -> gdf::Error
-//  * internal invariant violations (algorithm bugs)              -> GDF_ASSERT
+// Failures fall into a small taxonomy so the sweep orchestrator can apply
+// a policy per kind instead of aborting on the first throw:
+//  * Input     — bad user data (malformed netlist, inconsistent options);
+//                deterministic for a given invocation, never retried.
+//  * Resource  — the environment failed (unreadable file, I/O error);
+//                potentially transient, the only kind --on-error retry:N
+//                retries.
+//  * Internal  — an algorithm invariant broke; a bug, never retried.
+//  * Cancelled — cooperative cancellation (SIGINT/SIGTERM via a
+//                CancelToken); not an error row, the sweep drains its
+//                canonical frontier and reports a partial run.
+// Invariant checks that must crash (corrupting silently would be worse
+// than dying) stay GDF_ASSERT.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace gdf {
 
-/// Exception thrown for recoverable, user-facing errors such as parse
-/// failures or invalid API usage. The message is expected to be shown to a
-/// human unchanged.
+enum class ErrorKind : std::uint8_t { Input, Resource, Internal, Cancelled };
+
+/// Stable lower-case name ("input", "resource", "internal", "cancelled")
+/// — part of the deterministic `# error:` row format.
+const char* error_kind_name(ErrorKind kind);
+
+/// Exception thrown for recoverable errors. The message is expected to be
+/// shown to a human unchanged; the kind routes the sweep's error policy.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& message) : std::runtime_error(message) {}
+  explicit Error(const std::string& message)
+      : std::runtime_error(message), kind_(ErrorKind::Input) {}
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
 };
 
 namespace detail {
@@ -24,9 +48,18 @@ namespace detail {
                               const std::string& message);
 }  // namespace detail
 
-/// Throws gdf::Error with the given message if `cond` is false. Use for
-/// conditions caused by user input; they must stay enabled in release builds.
+/// Throws gdf::Error (kind Input) with the given message if `cond` is
+/// false. Use for conditions caused by user input; they must stay enabled
+/// in release builds.
 void check(bool cond, const std::string& message);
+
+/// Like check(), but classifies the failure as a Resource error — the
+/// environment (file system, I/O) failed, not the user's data.
+void check_resource(bool cond, const std::string& message);
+
+/// Throws Error(ErrorKind::Cancelled) — the cooperative cancellation
+/// unwind initiated when a CancelToken fires mid-search.
+[[noreturn]] void throw_cancelled();
 
 }  // namespace gdf
 

@@ -1,0 +1,138 @@
+#include "base/fault_injection.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/string_util.hpp"
+
+namespace gdf::fi {
+
+namespace {
+
+struct Directive {
+  std::string verb;
+  std::string target;  ///< label / substring; empty for journal-truncate
+  long limit = -1;     ///< firings allowed; -1 = unlimited
+};
+
+std::vector<Directive> parse_directives() {
+  std::vector<Directive> directives;
+  const char* env = std::getenv("GDF_FI");
+  if (env == nullptr || *env == '\0') {
+    return directives;
+  }
+  for (const std::string& entry : split(env, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    const std::vector<std::string> parts = split(entry, ':');
+    Directive d;
+    d.verb = parts[0];
+    if (parts.size() > 1) {
+      d.target = parts[1];
+    }
+    if (parts.size() > 2) {
+      d.limit = std::atol(parts[2].c_str());
+    }
+    directives.push_back(std::move(d));
+  }
+  return directives;
+}
+
+/// Firing counts per directive spelling, persistent across probe calls
+/// (the [:N] forms fire N times then go quiet).
+std::mutex g_mutex;
+std::unordered_map<std::string, long> g_fired;
+
+/// Consumes one firing of `d`; false once its limit is spent.
+bool consume(const Directive& d) {
+  if (d.limit < 0) {
+    return true;
+  }
+  const std::string key = d.verb + ":" + d.target;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  long& fired = g_fired[key];
+  if (fired >= d.limit) {
+    return false;
+  }
+  ++fired;
+  return true;
+}
+
+}  // namespace
+
+bool enabled() {
+  const char* env = std::getenv("GDF_FI");
+  return env != nullptr && *env != '\0';
+}
+
+void fire_cell_throw(const std::string& label) {
+  if (!enabled()) {
+    return;
+  }
+  for (const Directive& d : parse_directives()) {
+    if (d.verb == "cell-throw" && d.target == label && consume(d)) {
+      throw Error(ErrorKind::Resource,
+                  "fault injection: forced failure for cell '" + label + "'");
+    }
+  }
+}
+
+void fire_stall(const std::string& label, const CancelToken* cancel) {
+  if (!enabled()) {
+    return;
+  }
+  for (const Directive& d : parse_directives()) {
+    if (d.verb != "stall" || d.target != label) {
+      continue;
+    }
+    // The third field is the duration here, not a firing limit.
+    const long ms = d.limit > 0 ? d.limit : 1000;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < deadline &&
+           !cancel_requested(cancel)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void fire_read_fail(const std::string& path) {
+  if (!enabled()) {
+    return;
+  }
+  for (const Directive& d : parse_directives()) {
+    if (d.verb == "read-fail" && !d.target.empty() &&
+        path.find(d.target) != std::string::npos && consume(d)) {
+      throw Error(ErrorKind::Resource,
+                  "fault injection: forced read failure for '" + path + "'");
+    }
+  }
+}
+
+bool fire_journal_truncate() {
+  if (!enabled()) {
+    return false;
+  }
+  for (const Directive& d : parse_directives()) {
+    if (d.verb == "journal-truncate") {
+      // One torn record per armed directive.
+      Directive once = d;
+      once.limit = 1;
+      return consume(once);
+    }
+  }
+  return false;
+}
+
+void reset_for_testing() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_fired.clear();
+}
+
+}  // namespace gdf::fi

@@ -1,0 +1,57 @@
+// Fault-injection hooks for the crash-safety tests (GDF_FI=...).
+//
+// The environment variable GDF_FI holds a semicolon-separated list of
+// directives; production code calls the fire_* probes at well-defined
+// sites and the probes act only when a matching directive is present, so
+// an unset GDF_FI costs one getenv per probe and nothing else:
+//
+//   cell-throw:LABEL[:N]  the sweep worker throws a Resource error before
+//                         running any cell of circuit LABEL (N times,
+//                         then behaves normally; default: always)
+//   stall:LABEL:MS        the sweep worker sleeps MS milliseconds before
+//                         running a cell of circuit LABEL, waking early
+//                         (10 ms granularity) when the cancel token fires
+//                         — the deterministic "worker stuck mid-sweep"
+//                         window the kill-and-resume ctest interrupts
+//   read-fail:SUBSTR[:N]  read_bench_file throws a Resource error for any
+//                         path containing SUBSTR (N times, then succeeds
+//                         — what --on-error retry:N recovers from)
+//   journal-truncate      the journal writes only the first half of the
+//                         next record and omits its newline — a torn
+//                         tail, which resume must tolerate
+//
+// Firing counts (the [:N] forms) persist across probe calls in a small
+// process-global registry; the directive list itself is re-read from the
+// environment on every probe so tests can setenv/unsetenv around calls.
+#pragma once
+
+#include <string>
+
+#include "base/cancel.hpp"
+
+namespace gdf::fi {
+
+/// True when GDF_FI is set and non-empty (cheap pre-check for call sites
+/// that would otherwise build probe arguments).
+bool enabled();
+
+/// cell-throw probe: throws Error(ErrorKind::Resource) when an armed
+/// directive matches `label`.
+void fire_cell_throw(const std::string& label);
+
+/// stall probe: blocks per a matching stall directive; returns early when
+/// `cancel` fires. No-op without a match.
+void fire_stall(const std::string& label, const CancelToken* cancel);
+
+/// read-fail probe: throws Error(ErrorKind::Resource) when an armed
+/// directive's substring occurs in `path`.
+void fire_read_fail(const std::string& path);
+
+/// journal-truncate probe: true exactly once per armed directive — the
+/// caller then writes a torn record.
+bool fire_journal_truncate();
+
+/// Clears the firing-count registry (tests re-arm [:N] directives).
+void reset_for_testing();
+
+}  // namespace gdf::fi

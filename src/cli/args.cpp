@@ -142,6 +142,17 @@ DriverConfig parse_args(int argc, const char* const* argv) {
       config.atpg.local.restart_base = base;
     } else if (arg == "--per-fault-seconds") {
       config.atpg.per_fault_seconds = parse_seconds(arg, value_of(i, arg));
+    } else if (arg == "--fault-budget") {
+      const int budget = parse_int(arg, value_of(i, arg));
+      check(budget > 0, "--fault-budget expects a positive assignment count");
+      config.atpg.fault_budget = budget;
+    } else if (arg == "--on-error") {
+      config.on_error = run::parse_on_error(value_of(i, arg));
+    } else if (arg == "--journal") {
+      config.journal = value_of(i, arg);
+      check(!config.journal.empty(), "--journal expects a file path");
+    } else if (arg == "--resume") {
+      config.resume = true;
     } else if (arg == "--seed") {
       config.atpg.fill_seed = parse_u64(arg, value_of(i, arg));
     } else if (arg == "--tdsim") {
@@ -217,6 +228,11 @@ DriverConfig parse_args(int argc, const char* const* argv) {
             sweep_spec(config).cells_per_circuit() == 1 || config.csv,
         "a parameter matrix (multi-valued --modes/--fault-order/--seeds/"
         "--backtracks/--dropping/--fault-sites) produces CSV; pass --csv");
+  check(!config.resume || !config.journal.empty(),
+        "--resume requires --journal FILE (the journal to replay)");
+  check(config.journal.empty() || !config.stage_stats,
+        "--journal does not combine with --stages (stage counters are not "
+        "journaled, so a resumed run could not replay them)");
   return config;
 }
 
@@ -241,6 +257,10 @@ run::SweepSpec sweep_spec(const DriverConfig& config) {
   spec.jobs = config.jobs;
   spec.include_seconds = !config.no_seconds;
   spec.shard = config.shard;
+  spec.on_error = config.on_error;
+  // A journaled run must emit rows that replay verbatim; the memo trailer
+  // would make the concatenated bytes depend on which cells replayed.
+  spec.disable_memo = !config.journal.empty();
   return spec;
 }
 
@@ -290,6 +310,13 @@ std::string usage() {
       "      --seq-backtracks N     SEMILET abort limit      [100]\n"
       "      --decision-limit N     safety net, both engines [200000]\n"
       "      --per-fault-seconds S  wall-clock cap per fault [off]\n"
+      "                          (timing-dependent: disables automatic\n"
+      "                          fault sharding; prefer --fault-budget)\n"
+      "      --fault-budget N    deterministic work cap per fault, counted\n"
+      "                          in implication-engine assignments: the\n"
+      "                          fault aborts once the search spends N\n"
+      "                          [off]; bytes stay identical across --jobs\n"
+      "                          and --shard-faults\n"
       "      --learn MODE        conflict-driven learning in the two-frame\n"
       "                          search: 'on' (per-fault clause learning +\n"
       "                          non-chronological backjumping + probe\n"
@@ -320,6 +347,25 @@ std::string usage() {
       "                          byte-identical for every width\n"
       "      --adi-sequences N   sampling budget of the 'adi' fault\n"
       "                          ordering pass (random sequences) [8]\n"
+      "\n"
+      "robust execution:\n"
+      "      --on-error POLICY   what a failing cell does: 'abort' (fail\n"
+      "                          fast, default), 'skip' (emit a\n"
+      "                          deterministic '# error:' row at the\n"
+      "                          cell's canonical position and continue),\n"
+      "                          or 'retry:N' (skip plus up to N re-runs\n"
+      "                          with bounded backoff for transient I/O\n"
+      "                          failures)\n"
+      "      --journal FILE      append every completed row to FILE\n"
+      "                          (fsync'd) so a killed run can resume;\n"
+      "                          not combinable with --stages\n"
+      "      --resume            replay FILE's completed rows verbatim and\n"
+      "                          run only the remaining cells; the\n"
+      "                          concatenated output is byte-identical to\n"
+      "                          an uninterrupted run (with --no-seconds)\n"
+      "\n"
+      "SIGINT/SIGTERM stop the run cooperatively: in-flight searches\n"
+      "unwind, completed rows flush, and the exit status is 3 (partial).\n"
       "\n"
       "output:\n"
       "      --csv               CSV rows instead of the Table-3 text table\n"

@@ -27,6 +27,11 @@ struct DriverConfig {
   bool no_seconds = false;            ///< omit the wall-time column
   unsigned jobs = 0;                  ///< worker threads; 0 = hardware
   std::string bench_dir;              ///< --bench-dir (else GDF_BENCH_DIR)
+  /// Failure containment (--on-error abort|skip|retry:N); abort is the
+  /// legacy fail-fast behavior.
+  run::ErrorPolicy on_error;
+  std::string journal;                ///< --journal FILE ("" = off)
+  bool resume = false;                ///< --resume (requires --journal)
   core::AtpgOptions atpg;             ///< flow configuration (base cell)
   /// Intra-circuit fault sharding (--shard-faults auto|N|off and
   /// --shard-epoch). Defaults to auto: large circuits shard across idle

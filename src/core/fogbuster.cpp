@@ -73,6 +73,7 @@ void StageStats::add(const StageStats& other) {
   aborted_local += other.aborted_local;
   aborted_sequential += other.aborted_sequential;
   aborted_time += other.aborted_time;
+  aborted_budget += other.aborted_budget;
   search.add(other.search);
   sim.add(other.sim);
 }
@@ -200,6 +201,11 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
                                           TestSequence* out,
                                           StageStats* stages) const {
   const Stopwatch watch;
+  const auto check_cancel = [&] {
+    if (cancel_requested(options_.cancel)) {
+      throw_cancelled();
+    }
+  };
   const auto out_of_time = [&] {
     return options_.per_fault_seconds > 0.0 &&
            watch.seconds() > options_.per_fault_seconds;
@@ -208,12 +214,24 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
     ++stages->aborted_time;
     return FaultStatus::Aborted;
   };
-  const auto abort_local = [&] {
-    ++stages->aborted_local;
-    return FaultStatus::Aborted;
-  };
   const auto abort_sequential = [&] {
     ++stages->aborted_sequential;
+    return FaultStatus::Aborted;
+  };
+
+  // The deterministic work budget (--fault-budget): fresh per fault,
+  // charged by the local search and every re-entry, never reset — the
+  // abort point is a pure function of this fault, so it lands on the
+  // same verdict at any --jobs/--shard-faults. A TDgen abort with the
+  // budget exhausted is attributed to it; otherwise to the backtrack/
+  // decision limits as before.
+  tdgen::WorkBudget work_budget(options_.fault_budget);
+  const auto abort_local = [&] {
+    if (options_.fault_budget > 0 && work_budget.exhausted()) {
+      ++stages->aborted_budget;
+    } else {
+      ++stages->aborted_local;
+    }
     return FaultStatus::Aborted;
   };
 
@@ -231,6 +249,9 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
   local_options.tally = &tally_scope.tally;
   local_options.learn = options_.learn != LearnMode::Off;
   local_options.learned_limit = options_.learned_limit;
+  local_options.work_budget =
+      options_.fault_budget > 0 ? &work_budget : nullptr;
+  local_options.cancel = options_.cancel;
   if (options_.learn == LearnMode::Shared) {
     // Cross-fault clause exchange through the shared context (opt-in:
     // which snapshot a fault sees depends on scheduling), and
@@ -246,6 +267,7 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
   LocalTest local;
 
   for (;;) {
+    check_cancel();
     if (out_of_time()) {
       return abort_time();
     }
@@ -305,6 +327,7 @@ FaultStatus Fogbuster::generate_for_fault(const DelayFault& fault,
     propagator.start(boundary, assignable);
     semilet::PropagationOutcome outcome;
     for (;;) {
+      check_cancel();
       if (out_of_time()) {
         return abort_time();
       }

@@ -60,6 +60,7 @@ struct StageStats {
   long aborted_local = 0;      ///< gave up in the local (TDgen) search
   long aborted_sequential = 0; ///< gave up in propagation/justification/sync
   long aborted_time = 0;       ///< per-fault wall-clock cap hit
+  long aborted_budget = 0;     ///< per-fault work budget exhausted
 
   // Search-core counters: the incremental engine's work, so speedups on
   // the TDgen hot path stay attributable (--stages prints them and

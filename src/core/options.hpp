@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "algebra/tables.hpp"
+#include "base/cancel.hpp"
 #include "semilet/options.hpp"
 #include "sim/lanes.hpp"
 #include "tdgen/fault.hpp"
@@ -78,8 +79,24 @@ struct AtpgOptions {
   std::uint64_t fill_seed = 1995;
 
   /// Optional wall-clock cap per targeted fault in seconds (0 = none);
-  /// counts toward the aborted column when hit.
+  /// counts toward the aborted column when hit. Verdicts become
+  /// timing-dependent, so auto fault sharding and the sweep's untestable
+  /// memo decline to engage — prefer fault_budget for deterministic caps.
   double per_fault_seconds = 0.0;
+
+  /// Deterministic per-fault work budget (--fault-budget, 0 = none),
+  /// counted in implication-engine assignments and shared by the local
+  /// search and its re-entries (see tdgen::WorkBudget). Unlike
+  /// per_fault_seconds the abort point is a pure function of the fault,
+  /// so rows stay byte-identical across --jobs and --shard-faults and
+  /// sharding stays enabled. Exceeding it counts toward the aborted
+  /// column (StageStats::aborted_budget attributes it).
+  long fault_budget = 0;
+
+  /// Cooperative cancellation (not a configuration knob): when wired, the
+  /// flow and its searches poll the token and unwind with an Error of
+  /// kind Cancelled. Never part of memo or compatibility keys.
+  const CancelToken* cancel = nullptr;
 };
 
 }  // namespace gdf::core

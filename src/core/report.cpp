@@ -58,7 +58,7 @@ std::string format_stage_stats(const StageStats& s) {
      << "  dropped by fault sim   " << s.dropped << "\n"
      << "  aborts                 local " << s.aborted_local
      << ", sequential " << s.aborted_sequential << ", time "
-     << s.aborted_time << "\n"
+     << s.aborted_time << ", budget " << s.aborted_budget << "\n"
      << "  search core            implications "
      << s.search.implication_assigns << ", trail pushes "
      << s.search.trail_pushes << ", pops " << s.search.trail_pops << "\n"

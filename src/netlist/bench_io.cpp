@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/error.hpp"
+#include "base/fault_injection.hpp"
 #include "base/string_util.hpp"
 #include "netlist/builder.hpp"
 
@@ -46,9 +47,9 @@ Netlist parse_bench(std::string_view text, std::string circuit_name) {
               "expected INPUT(...)/OUTPUT(...) or an assignment");
         const std::string k = to_lower(keyword);
         if (k == "input") {
-          builder.input(args);
+          builder.input(args, line_no);
         } else if (k == "output") {
-          builder.output(args);
+          builder.output(args, line_no);
         } else {
           throw Error("unexpected keyword '" + keyword + "'");
         }
@@ -64,7 +65,7 @@ Netlist parse_bench(std::string_view text, std::string circuit_name) {
       if (!args.empty()) {
         fanins = split(args, ',');
       }
-      builder.gate(target, type, std::move(fanins));
+      builder.gate(target, type, std::move(fanins), line_no);
     } catch (const Error& e) {
       throw Error("bench parse error at line " + std::to_string(line_no) +
                   ": " + e.what());
@@ -74,8 +75,9 @@ Netlist parse_bench(std::string_view text, std::string circuit_name) {
 }
 
 Netlist read_bench_file(const std::string& path) {
+  fi::fire_read_fail(path);
   std::ifstream in(path);
-  check(in.good(), "cannot open bench file '" + path + "'");
+  check_resource(in.good(), "cannot open bench file '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::string name = path;

@@ -6,23 +6,35 @@
 
 namespace gdf::net {
 
+namespace {
+
+/// " (line N)" when the declaration's source line is known; resolution
+/// errors (duplicate nets, undefined fanins) point at the offending line
+/// even though they only surface in build().
+std::string at_line(int line) {
+  return line > 0 ? " (line " + std::to_string(line) + ")" : "";
+}
+
+}  // namespace
+
 NetlistBuilder::NetlistBuilder(std::string circuit_name)
     : name_(std::move(circuit_name)) {}
 
-NetlistBuilder& NetlistBuilder::input(const std::string& name) {
-  pending_.push_back({GateType::Input, name, {}});
+NetlistBuilder& NetlistBuilder::input(const std::string& name, int line) {
+  pending_.push_back({GateType::Input, name, {}, line});
   return *this;
 }
 
-NetlistBuilder& NetlistBuilder::output(const std::string& name) {
-  output_names_.push_back(name);
+NetlistBuilder& NetlistBuilder::output(const std::string& name, int line) {
+  output_names_.emplace_back(name, line);
   return *this;
 }
 
 NetlistBuilder& NetlistBuilder::gate(const std::string& name, GateType type,
-                                     std::vector<std::string> fanin_names) {
+                                     std::vector<std::string> fanin_names,
+                                     int line) {
   check(type != GateType::Input, "use input() to declare primary inputs");
-  pending_.push_back({type, name, std::move(fanin_names)});
+  pending_.push_back({type, name, std::move(fanin_names), line});
   return *this;
 }
 
@@ -39,7 +51,7 @@ Netlist NetlistBuilder::build() {
   std::unordered_map<std::string, GateId> ids;
   for (const PendingGate& p : pending_) {
     check(ids.emplace(p.name, static_cast<GateId>(nl.gates_.size())).second,
-          "net '" + p.name + "' defined twice");
+          "net '" + p.name + "' defined twice" + at_line(p.line));
     Gate g;
     g.type = p.type;
     g.name = p.name;
@@ -56,18 +68,20 @@ Netlist NetlistBuilder::build() {
     check(arity_ok, "gate '" + p.name + "' (" +
                         std::string(gate_type_name(p.type)) + ") has " +
                         std::to_string(p.fanin_names.size()) +
-                        " fanins, which is invalid");
+                        " fanins, which is invalid" + at_line(p.line));
     for (const std::string& fn : p.fanin_names) {
       const auto it = ids.find(fn);
       check(it != ids.end(),
-            "gate '" + p.name + "' references undefined net '" + fn + "'");
+            "gate '" + p.name + "' references undefined net '" + fn + "'" +
+                at_line(p.line));
       nl.gates_[i].fanin.push_back(it->second);
     }
   }
 
-  for (const std::string& po : output_names_) {
+  for (const auto& [po, line] : output_names_) {
     const auto it = ids.find(po);
-    check(it != ids.end(), "primary output '" + po + "' is never defined");
+    check(it != ids.end(), "primary output '" + po + "' is never defined" +
+                               at_line(line));
     nl.outputs_.push_back(it->second);
   }
 

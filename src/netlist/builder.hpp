@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -14,15 +15,16 @@ class NetlistBuilder {
  public:
   explicit NetlistBuilder(std::string circuit_name);
 
-  /// Declares a primary input net.
-  NetlistBuilder& input(const std::string& name);
+  /// Declares a primary input net. `line` (1-based source line, 0 =
+  /// unknown) is carried into build()'s error messages.
+  NetlistBuilder& input(const std::string& name, int line = 0);
 
   /// Declares a net as a primary output (the net may be defined later).
-  NetlistBuilder& output(const std::string& name);
+  NetlistBuilder& output(const std::string& name, int line = 0);
 
   /// Adds a gate driving net `name` with the given fanin net names.
   NetlistBuilder& gate(const std::string& name, GateType type,
-                       std::vector<std::string> fanin_names);
+                       std::vector<std::string> fanin_names, int line = 0);
 
   /// Convenience for DFF: q = DFF(d).
   NetlistBuilder& dff(const std::string& q, const std::string& d);
@@ -36,11 +38,12 @@ class NetlistBuilder {
     GateType type;
     std::string name;
     std::vector<std::string> fanin_names;
+    int line = 0;  ///< source line of the declaration (0 = unknown)
   };
 
   std::string name_;
   std::vector<PendingGate> pending_;
-  std::vector<std::string> output_names_;
+  std::vector<std::pair<std::string, int>> output_names_;
 };
 
 }  // namespace gdf::net

@@ -1,11 +1,13 @@
 #include "run/shard.hpp"
 
+#include <atomic>
 #include <charconv>
 #include <exception>
 #include <utility>
 #include <vector>
 
 #include "base/error.hpp"
+#include "base/logger.hpp"
 #include "base/timer.hpp"
 
 namespace gdf::run {
@@ -62,9 +64,24 @@ unsigned shard_workers(const ShardConfig& config, const ThreadPool& pool,
       // cap the verdicts are timing-dependent either way — don't let the
       // default policy add scheduling noise to such runs. Small circuits
       // pay more in barriers than they gain; a one-thread pool gains
-      // nothing at all.
-      if (per_fault_seconds > 0.0 || fault_count < config.min_faults ||
-          pool.thread_count() <= 1) {
+      // nothing at all. (--fault-budget deliberately does NOT gate here:
+      // its abort point is a pure function of the fault, so budgeted runs
+      // keep sharding.)
+      if (per_fault_seconds > 0.0) {
+        if (fault_count >= config.min_faults && pool.thread_count() > 1) {
+          // The cap silently costs the parallelism the run would have
+          // had; say so once, and name the deterministic alternative.
+          static std::atomic<bool> warned{false};
+          if (!warned.exchange(true)) {
+            GDF_WARN << "--per-fault-seconds disables automatic fault "
+                        "sharding (wall-clock verdicts are timing-"
+                        "dependent); use the deterministic --fault-budget "
+                        "to cap per-fault work and keep sharding";
+          }
+        }
+        return 0;
+      }
+      if (fault_count < config.min_faults || pool.thread_count() <= 1) {
         return 0;
       }
       return pool.thread_count();
@@ -111,6 +128,13 @@ core::FogbusterResult run_sharded(core::Fogbuster& flow,
   epoch.reserve(epoch_size);
   std::size_t pos = 0;  // targeting positions < pos are fully classified
   while (pos < n) {
+    // Between epochs is the natural cancellation point: the barrier has
+    // merged everything generated so far, so unwinding here loses no
+    // completed work. (Mid-epoch, the searches themselves poll the token
+    // and throw; the merge below rethrows the first such slice.)
+    if (pool.cancel_requested()) {
+      throw_cancelled();
+    }
     // Select the next still-untested faults in targeting order. Memoized
     // faults join the epoch (their classification must happen in order at
     // the merge) but skip speculative generation.

@@ -1,15 +1,19 @@
 #include "run/sweep.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <filesystem>
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "base/error.hpp"
+#include "base/fault_injection.hpp"
 #include "circuits/catalog.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/validate.hpp"
@@ -19,6 +23,38 @@
 namespace gdf::run {
 
 namespace {
+
+/// Extracts kind + message from a parked worker exception (message may be
+/// null when only the kind is wanted).
+void classify_error(const std::exception_ptr& error, ErrorKind* kind,
+                    std::string* message) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    *kind = e.kind();
+    if (message != nullptr) {
+      *message = e.what();
+    }
+  } catch (const std::exception& e) {
+    *kind = ErrorKind::Internal;
+    if (message != nullptr) {
+      *message = e.what();
+    }
+  } catch (...) {
+    *kind = ErrorKind::Internal;
+    if (message != nullptr) {
+      *message = "unknown exception";
+    }
+  }
+}
+
+/// Bounded backoff before retry attempt `attempt` (1-based): 10 ms
+/// doubling, capped at 200 ms — enough for transient I/O, never enough to
+/// wedge a worker.
+void retry_backoff(int attempt) {
+  const long ms = std::min<long>(200, 10L << std::min(attempt - 1, 10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
 
 template <typename T>
 std::vector<T> axis_or(const std::vector<T>& axis, T base_value) {
@@ -43,6 +79,9 @@ struct StructuralKey {
 /// one per structural key reached by the matrix.
 struct CircuitSlot {
   net::Netlist nl;
+  /// Set when the circuit failed to load under --on-error skip/retry:
+  /// every cell of the slot rethrows it and becomes an error row.
+  std::exception_ptr load_error;
   std::mutex mutex;
   std::vector<std::pair<StructuralKey, std::shared_ptr<const core::CircuitContext>>>
       contexts;
@@ -79,6 +118,7 @@ struct GenerationKey {
   int seq_sync_frames;
   long seq_decisions;
   double per_fault_seconds;
+  long fault_budget;
   // Learning changes which faults abort (and under --learn shared even
   // the verdict bytes), so cells with different learn settings must not
   // share an untestable memo.
@@ -97,6 +137,7 @@ struct GenerationKey {
         seq_sync_frames(o.sequential.max_sync_frames),
         seq_decisions(o.sequential.decision_limit),
         per_fault_seconds(o.per_fault_seconds),
+        fault_budget(o.fault_budget),
         learn(o.learn),
         learned_limit(o.learned_limit),
         restarts(o.local.restarts),
@@ -242,22 +283,90 @@ std::string format_sweep_csv_row(const SweepSpec& spec,
   return os.str();
 }
 
+ErrorPolicy parse_on_error(std::string_view text) {
+  ErrorPolicy policy;
+  if (text == "abort") {
+    return policy;
+  }
+  if (text == "skip") {
+    policy.mode = ErrorPolicy::Mode::Skip;
+    return policy;
+  }
+  if (text.substr(0, 6) == "retry:") {
+    const std::string_view count = text.substr(6);
+    int retries = 0;
+    const auto [ptr, ec] =
+        std::from_chars(count.data(), count.data() + count.size(), retries);
+    check(ec == std::errc() && ptr == count.data() + count.size() &&
+              retries >= 1,
+          "--on-error retry:N expects a positive retry count, got '" +
+              std::string(text) + "'");
+    policy.mode = ErrorPolicy::Mode::Retry;
+    policy.retries = retries;
+    return policy;
+  }
+  throw Error("--on-error expects 'abort', 'skip', or 'retry:N', got '" +
+              std::string(text) + "'");
+}
+
+std::string on_error_name(const ErrorPolicy& policy) {
+  switch (policy.mode) {
+    case ErrorPolicy::Mode::Abort:
+      return "abort";
+    case ErrorPolicy::Mode::Skip:
+      return "skip";
+    case ErrorPolicy::Mode::Retry:
+      return "retry:" + std::to_string(policy.retries);
+  }
+  return "abort";
+}
+
+std::string format_sweep_error_row(const SweepRow& row) {
+  // Deterministic bytes: label, canonical index, structured kind, and the
+  // exception's message — nothing timing- or attempt-dependent.
+  return "# error: circuit=" + row.job.circuit.label +
+         " cell=" + std::to_string(row.job.index) +
+         " kind=" + error_kind_name(row.error_kind) + ": " + row.error;
+}
+
 SweepStats run_sweep(const SweepSpec& spec,
                      const std::function<void(const SweepRow&)>& emit,
                      const std::function<void()>& on_ready) {
   // Load and validate every circuit up front, serially: a typo or a
   // malformed .bench file fails before any ATPG time is spent, and the
-  // workers then only ever read the slots.
+  // workers then only ever read the slots. Under --on-error skip/retry a
+  // load failure is contained instead: the slot records it and every cell
+  // of that circuit becomes a deterministic error row (Resource failures
+  // get their bounded-backoff retries here, where the transient I/O is).
   const std::string bench_dir = circuits::resolve_bench_dir(spec.bench_dir);
   std::vector<std::unique_ptr<CircuitSlot>> slots;
   slots.reserve(spec.circuits.size());
   for (const CircuitSource& source : spec.circuits) {
     auto slot = std::make_unique<CircuitSlot>();
-    if (!source.bench_path.empty()) {
-      slot->nl = net::read_bench_file(source.bench_path);
-      net::validate_or_throw(slot->nl);
-    } else {
-      slot->nl = circuits::load_circuit(source.name, bench_dir);
+    for (int attempt = 1;; ++attempt) {
+      try {
+        if (!source.bench_path.empty()) {
+          slot->nl = net::read_bench_file(source.bench_path);
+          net::validate_or_throw(slot->nl);
+        } else {
+          slot->nl = circuits::load_circuit(source.name, bench_dir);
+        }
+        break;
+      } catch (const Error& e) {
+        if (spec.on_error.mode == ErrorPolicy::Mode::Retry &&
+            e.kind() == ErrorKind::Resource &&
+            attempt <= spec.on_error.retries &&
+            !cancel_requested(spec.cancel)) {
+          retry_backoff(attempt);
+          continue;
+        }
+        if (spec.on_error.mode == ErrorPolicy::Mode::Abort ||
+            e.kind() == ErrorKind::Cancelled) {
+          throw;
+        }
+        slot->load_error = std::current_exception();
+        break;
+      }
     }
     slots.push_back(std::move(slot));
   }
@@ -274,10 +383,14 @@ SweepStats run_sweep(const SweepSpec& spec,
   // re-derivation. Group them; the producer (canonically first member)
   // publishes its untestable set after its cell completes, the consumers
   // start only then. A per-fault wall-clock cap makes verdicts
-  // timing-dependent — no groups form for such specs.
+  // timing-dependent — no groups form for such specs. Journaled/resumed
+  // runs disable groups too (spec.disable_memo / resume_done): a replayed
+  // producer has no verdict set to publish, and replayed bytes must not
+  // depend on memo state.
   std::vector<std::unique_ptr<MemoGroup>> groups;
   std::vector<MemoGroup*> group_of(jobs.size(), nullptr);
-  if (spec.base.per_fault_seconds <= 0.0) {
+  if (spec.base.per_fault_seconds <= 0.0 && !spec.disable_memo &&
+      spec.resume_done.empty()) {
     std::vector<std::pair<GenerationKey, MemoGroup*>> keyed;
     for (std::size_t slot = 0; slot < slots.size(); ++slot) {
       keyed.clear();
@@ -310,16 +423,34 @@ SweepStats run_sweep(const SweepSpec& spec,
   }
 
   // Indexed result channel: workers publish at their canonical position,
-  // the caller drains in order. A slot is either a row or an exception.
+  // the caller drains in order. A slot is either a row, an exception, or
+  // (after cancellation) deliberately empty — the emission loop reads an
+  // empty ready cell as "the frontier ends here".
   struct Cell {
     std::unique_ptr<SweepRow> row;
     std::exception_ptr error;
+    int attempts = 1;
     bool ready = false;
   };
   std::vector<Cell> channel(jobs.size());
   std::mutex mutex;
   std::condition_variable published;
   bool cancelled = false;
+
+  // Replay (--resume): journaled cells are pre-published as ready rows —
+  // never submitted, never recomputed — and the caller re-emits their
+  // journaled text.
+  for (const std::size_t ji : spec.resume_done) {
+    check(ji < jobs.size(),
+          "resume index " + std::to_string(ji) +
+              " is out of range for this sweep (" +
+              std::to_string(jobs.size()) + " cells)");
+    Cell& cell = channel[ji];
+    cell.row = std::make_unique<SweepRow>();
+    cell.row->job = jobs[ji];
+    cell.row->replayed = true;
+    cell.ready = true;
+  }
 
   // Longest-job-first submission: descending size-based cost estimate,
   // canonical index as the deterministic tie-break. Without it the
@@ -336,6 +467,7 @@ SweepStats run_sweep(const SweepSpec& spec,
                    });
 
   SweepStats stats;
+  stats.total_cells = static_cast<long>(jobs.size());
   {
     // No point spawning more workers than there are jobs (a default
     // --jobs 0 single-circuit run on a many-core host would otherwise
@@ -369,6 +501,7 @@ SweepStats run_sweep(const SweepSpec& spec,
     // joins workers whose producer tails call it.
     std::function<void(std::size_t)> submit_job;
     ThreadPool pool(width);
+    pool.set_cancel_token(spec.cancel);
 
     submit_job = [&](std::size_t ji) {
       pool.submit([&, ji] {
@@ -376,51 +509,92 @@ SweepStats run_sweep(const SweepSpec& spec,
         CircuitSlot* slot = slots[ji / cells].get();
         MemoGroup* group = group_of[ji];
         Cell cell;
+        ErrorKind error_kind = ErrorKind::Internal;
         {
           const std::lock_guard<std::mutex> lock(mutex);
-          if (cancelled) {
+          if (cancelled || cancel_requested(spec.cancel)) {
             cell.ready = true;  // publish an empty cell so nobody waits
           }
         }
+        if (!cell.ready && slot->load_error) {
+          // The circuit never loaded (skip/retry already spent its
+          // retries up front): every cell of the slot carries that error.
+          cell.error = slot->load_error;
+          classify_error(cell.error, &error_kind, nullptr);
+          cell.ready = true;
+        }
         if (!cell.ready) {
-          try {
-            AtpgSession session(slot->context_for(job.options), job.options,
-                                job.order);
-            if (group != nullptr && ji != group->producer()) {
-              session.set_untestable_memo(group->verdicts);
-            }
-            const core::FogbusterResult result = session.run(pool,
-                                                             spec.shard);
-            cell.row = std::make_unique<SweepRow>();
-            cell.row->job = job;
-            cell.row->table =
-                core::make_table3_row(job.circuit.label, result);
-            cell.row->stages = result.stages;
-            cell.row->memo_hits = result.memo_hits;
-            if (group != nullptr && ji == group->producer()) {
-              // Publish-after-cell: the verdict set becomes visible only
-              // as a completed whole, and only then do the consumers
-              // enter the pool (the submission lock orders the write).
-              auto verdicts = std::make_shared<std::vector<bool>>(
-                  result.status.size(), false);
-              for (std::size_t f = 0; f < result.status.size(); ++f) {
-                (*verdicts)[f] =
-                    result.status[f] == core::FaultStatus::Untestable;
+          for (int attempt = 1;; ++attempt) {
+            cell.attempts = attempt;
+            try {
+              if (cancel_requested(spec.cancel)) {
+                throw_cancelled();
               }
-              group->verdicts = std::move(verdicts);
+              fi::fire_stall(job.circuit.label, spec.cancel);
+              fi::fire_cell_throw(job.circuit.label);
+              AtpgSession session(slot->context_for(job.options),
+                                  job.options, job.order);
+              if (group != nullptr && ji != group->producer() &&
+                  group->verdicts != nullptr) {
+                session.set_untestable_memo(group->verdicts);
+              }
+              const core::FogbusterResult result = session.run(pool,
+                                                               spec.shard);
+              cell.row = std::make_unique<SweepRow>();
+              cell.row->job = job;
+              cell.row->table =
+                  core::make_table3_row(job.circuit.label, result);
+              cell.row->stages = result.stages;
+              cell.row->memo_hits = result.memo_hits;
+              if (group != nullptr && ji == group->producer()) {
+                // Publish-after-cell: the verdict set becomes visible
+                // only as a completed whole, and only then do the
+                // consumers enter the pool (the submission lock orders
+                // the write).
+                auto verdicts = std::make_shared<std::vector<bool>>(
+                    result.status.size(), false);
+                for (std::size_t f = 0; f < result.status.size(); ++f) {
+                  (*verdicts)[f] =
+                      result.status[f] == core::FaultStatus::Untestable;
+                }
+                group->verdicts = std::move(verdicts);
+              }
+            } catch (const Error& e) {
+              // Only Resource failures (transient I/O) are worth
+              // re-running: Input/Internal are deterministic and
+              // Cancelled is a request to stop, not a fault.
+              if (spec.on_error.mode == ErrorPolicy::Mode::Retry &&
+                  e.kind() == ErrorKind::Resource &&
+                  attempt <= spec.on_error.retries &&
+                  !cancel_requested(spec.cancel)) {
+                retry_backoff(attempt);
+                continue;
+              }
+              cell.error = std::current_exception();
+              error_kind = e.kind();
+            } catch (...) {
+              cell.error = std::current_exception();
             }
-          } catch (...) {
-            cell.error = std::current_exception();
+            break;
           }
           cell.ready = true;
         }
+        const bool cell_failed = cell.error != nullptr;
         {
           const std::lock_guard<std::mutex> lock(mutex);
           channel[ji] = std::move(cell);
         }
         published.notify_all();
+        // A failed producer under skip/retry still submits its consumers
+        // (memo-less): their rows are wanted past the producer's error
+        // row, and nobody else will start them. Under abort — or on
+        // cancellation — emission stops at the producer's earlier
+        // canonical index and never waits on the consumers.
+        const bool unblock_consumers =
+            cell_failed && spec.on_error.mode != ErrorPolicy::Mode::Abort &&
+            error_kind != ErrorKind::Cancelled;
         if (group != nullptr && ji == group->producer() &&
-            group->verdicts != nullptr) {
+            (group->verdicts != nullptr || unblock_consumers)) {
           for (const std::size_t consumer : group->members) {
             if (consumer != ji) {
               submit_job(consumer);
@@ -431,32 +605,71 @@ SweepStats run_sweep(const SweepSpec& spec,
     };
 
     for (const std::size_t ji : submission) {
-      // Consumers wait for their producer's published memo; everyone
-      // else starts now. A producer that fails never submits its
-      // consumers — its error surfaces at an earlier canonical index, so
-      // the emission loop below never reaches (or waits on) them.
+      // Replayed cells are already published; consumers wait for their
+      // producer's published memo; everyone else starts now.
       const MemoGroup* group = group_of[ji];
+      if (channel[ji].ready) {
+        continue;
+      }
       if (group == nullptr || ji == group->producer()) {
         submit_job(ji);
       }
     }
 
     // Deterministic emission: row i is handed out only after rows 0..i-1,
-    // whatever order the workers finish in.
+    // whatever order the workers finish in. Cancellation truncates the
+    // canonical frontier here — rows already emitted stay final, nothing
+    // past the first incomplete position is handed out.
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       std::unique_lock<std::mutex> lock(mutex);
       published.wait(lock, [&] { return channel[i].ready; });
-      if (channel[i].error) {
-        cancelled = true;  // remaining workers fast-forward
-        std::exception_ptr error = channel[i].error;
+      Cell cell;
+      cell.row = std::move(channel[i].row);
+      cell.error = channel[i].error;
+      cell.attempts = channel[i].attempts;
+      if (cell.error) {
+        ErrorKind kind = ErrorKind::Internal;
+        std::string message;
+        classify_error(cell.error, &kind, &message);
+        if (kind == ErrorKind::Cancelled) {
+          cancelled = true;
+          stats.interrupted = true;
+          break;
+        }
+        if (spec.on_error.mode == ErrorPolicy::Mode::Abort) {
+          cancelled = true;  // remaining workers fast-forward
+          lock.unlock();
+          std::rethrow_exception(cell.error);
+        }
         lock.unlock();
-        std::rethrow_exception(error);
+        SweepRow row;
+        row.job = jobs[i];
+        row.error = std::move(message);
+        row.error_kind = kind;
+        row.attempts = cell.attempts;
+        emit(row);
+        ++stats.emitted;
+        ++stats.error_cells;
+        stats.retries += cell.attempts - 1;
+        continue;
       }
-      const std::unique_ptr<SweepRow> row = std::move(channel[i].row);
+      if (!cell.row) {
+        // An empty published cell: a worker fast-forwarded after the
+        // cancel token fired. The frontier ends here.
+        cancelled = true;
+        stats.interrupted = true;
+        break;
+      }
       lock.unlock();
-      emit(*row);
-      if (row->memo_hits > 0) {
-        stats.memo_hits += row->memo_hits;
+      cell.row->attempts = cell.attempts;
+      emit(*cell.row);
+      ++stats.emitted;
+      stats.retries += cell.attempts - 1;
+      if (cell.row->replayed) {
+        ++stats.replayed_cells;
+      }
+      if (cell.row->memo_hits > 0) {
+        stats.memo_hits += cell.row->memo_hits;
         ++stats.memo_reused_cells;
       }
     }

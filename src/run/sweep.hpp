@@ -36,14 +36,38 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "base/cancel.hpp"
+#include "base/error.hpp"
 #include "core/options.hpp"
 #include "core/report.hpp"
 #include "run/fault_order.hpp"
 #include "run/shard.hpp"
 
 namespace gdf::run {
+
+/// What run_sweep does when a cell fails (--on-error). Abort reproduces
+/// the pre-policy behavior: the first failure is rethrown at its canonical
+/// position and the sweep stops. Skip emits a deterministic `# error:`
+/// row at the failing cell's canonical position and continues — no other
+/// row's bytes change. Retry is Skip plus up to `retries` re-runs with
+/// bounded backoff, attempted only for Resource-kind (transient I/O)
+/// failures; Input/Internal failures are deterministic and go straight to
+/// the error row. Cancellation is never an error row: the sweep drains
+/// its canonical frontier and reports a partial run.
+struct ErrorPolicy {
+  enum class Mode : std::uint8_t { Abort, Skip, Retry };
+  Mode mode = Mode::Abort;
+  int retries = 0;  ///< re-runs per cell (Retry only)
+
+  bool operator==(const ErrorPolicy&) const = default;
+};
+
+/// Parses an --on-error value: "abort" | "skip" | "retry:N" (N >= 1).
+ErrorPolicy parse_on_error(std::string_view text);
+std::string on_error_name(const ErrorPolicy& policy);
 
 /// One circuit to sweep: either a catalog name (honoring the file-backed
 /// bench_dir) or an explicit .bench file from disk.
@@ -90,6 +114,23 @@ struct SweepSpec {
   /// the cell-granular behavior. Never changes the emitted bytes.
   ShardConfig shard;
 
+  /// Failure containment (--on-error); see ErrorPolicy.
+  ErrorPolicy on_error;
+  /// Cooperative cancellation: when wired (and also set on base.cancel so
+  /// in-flight searches observe it), a fired token makes run_sweep stop
+  /// emitting at the first incomplete canonical position and return with
+  /// SweepStats::interrupted set. nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
+  /// Canonical indices replayed from a journal (--resume): these cells
+  /// are not executed; their rows come back with SweepRow::replayed set
+  /// and only job/index meaningful — the caller re-emits its journaled
+  /// text. Non-empty lists disable the untestable memo (a replayed
+  /// producer has no verdicts to publish).
+  std::vector<std::size_t> resume_done;
+  /// Disables untestable-memo groups outright (journaled runs: replay
+  /// must not depend on memo trailer state).
+  bool disable_memo = false;
+
   /// Cells per circuit (product of the axis sizes).
   std::size_t cells_per_circuit() const;
   /// True when more than one cell per circuit (CSV grows config columns).
@@ -113,12 +154,30 @@ struct SweepRow {
   core::StageStats stages;
   /// Faults this cell classified via the shared untestable memo.
   long memo_hits = 0;
+  /// Nonempty = the cell failed under --on-error skip/retry; the table
+  /// and stage fields are empty and the row renders as a deterministic
+  /// `# error:` line (see format_sweep_error_row).
+  std::string error;
+  ErrorKind error_kind = ErrorKind::Internal;
+  /// Times the cell ran (> 1 only under --on-error retry:N).
+  int attempts = 1;
+  /// Replayed from a journal: only `job` is meaningful; the caller
+  /// re-emits the journaled text instead of formatting this row.
+  bool replayed = false;
 };
 
 /// Whole-sweep outcome counters (deterministic for a given spec).
 struct SweepStats {
   long memo_hits = 0;          ///< untestable verdicts reused, summed
   long memo_reused_cells = 0;  ///< cells with at least one memo hit
+  long total_cells = 0;        ///< canonical job count of the spec
+  long emitted = 0;            ///< rows handed to emit (incl. error rows)
+  long error_cells = 0;        ///< cells that emitted `# error:` rows
+  long retries = 0;            ///< extra attempts spent under retry:N
+  long replayed_cells = 0;     ///< rows replayed from resume_done
+  /// The cancel token fired: emission stopped at the first incomplete
+  /// canonical position; rows 0..emitted-1 are complete and final.
+  bool interrupted = false;
 };
 
 /// CSV rendering. Without a matrix this is exactly the legacy layout
@@ -130,13 +189,22 @@ struct SweepStats {
 std::string sweep_csv_header(const SweepSpec& spec);
 std::string format_sweep_csv_row(const SweepSpec& spec, const SweepRow& row);
 
+/// The deterministic `# error:` line a failed cell occupies at its
+/// canonical position (identical bytes in CSV and table layouts):
+///   # error: circuit=<label> cell=<index> kind=<kind>: <message>
+std::string format_sweep_error_row(const SweepRow& row);
+
 /// Runs the whole spec; `emit` is invoked on the calling thread, once per
-/// job, in canonical order, as soon as each next row is available. A
-/// worker exception is rethrown on the calling thread at its job's
-/// canonical position (later jobs are abandoned). `on_ready`, if given,
-/// runs after every circuit has loaded and validated but before any job —
-/// the place to print a header, so a bad circuit name aborts cleanly
-/// without partial output. The returned stats summarize memo reuse.
+/// job, in canonical order, as soon as each next row is available. Under
+/// the default ErrorPolicy (abort) a worker exception is rethrown on the
+/// calling thread at its job's canonical position (later jobs are
+/// abandoned); under skip/retry the failing cell becomes an `# error:`
+/// row and the sweep continues. `on_ready`, if given, runs after every
+/// circuit has loaded and validated but before any job — the place to
+/// print a header, so a bad circuit name aborts cleanly without partial
+/// output (under skip/retry a failed circuit load instead yields error
+/// rows for that circuit's cells). The returned stats summarize memo
+/// reuse, error containment and interruption.
 SweepStats run_sweep(const SweepSpec& spec,
                      const std::function<void(const SweepRow&)>& emit,
                      const std::function<void()>& on_ready = {});

@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "base/cancel.hpp"
+
 namespace gdf::run {
 
 class ThreadPool {
@@ -87,6 +89,16 @@ class ThreadPool {
     return static_cast<unsigned>(threads_.size());
   }
 
+  /// Wires a cancellation token through the pool: the pool itself keeps
+  /// scheduling (tasks must run so channels drain), but cooperative
+  /// consumers — the epoch engine between barriers, the flow's decision
+  /// loops — poll it via cancel_token()/cancel_requested() and unwind
+  /// early. Set before tasks that should observe it are submitted; pass
+  /// nullptr to unwire.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+  bool cancel_requested() const { return gdf::cancel_requested(cancel_); }
+
   /// Maps a --jobs style request onto a worker count: 0 means "use the
   /// hardware", and the result is always at least 1.
   static unsigned resolve_jobs(unsigned requested);
@@ -111,6 +123,7 @@ class ThreadPool {
   std::vector<Group*> groups_;  ///< groups with queued tasks, FIFO
   std::size_t next_queue_ = 0;  ///< round-robin submission cursor
   bool stop_ = false;
+  const CancelToken* cancel_ = nullptr;  ///< see set_cancel_token
   std::vector<std::thread> threads_;
 };
 

@@ -851,6 +851,22 @@ TdgenStatus TdgenSearch::next(LocalTest* out) {
     }
   }
   for (;;) {
+    if (options_.cancel != nullptr && options_.cancel->requested()) {
+      throw_cancelled();
+    }
+    if (options_.work_budget != nullptr) {
+      // Charge this engine's assignment delta against the shared per-fault
+      // budget; once some search's charge exhausts it, every sharer's
+      // next iteration aborts — deterministically, because the charges
+      // are pure counts of single-threaded search work.
+      const long pushes = engine_.counters().trail_pushes;
+      options_.work_budget->charge(pushes - budget_charged_);
+      budget_charged_ = pushes;
+      if (options_.work_budget->exhausted()) {
+        aborted_ = true;
+        return TdgenStatus::Aborted;
+      }
+    }
     if (decisions_ > options_.decision_limit) {
       aborted_ = true;
       return TdgenStatus::Aborted;

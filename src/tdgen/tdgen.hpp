@@ -25,11 +25,33 @@
 #include <vector>
 
 #include "algebra/frame_sim.hpp"
+#include "base/cancel.hpp"
 #include "tdgen/fault.hpp"
 #include "tdgen/implication.hpp"
 #include "tdgen/local_test.hpp"
 
 namespace gdf::tdgen {
+
+/// Deterministic per-fault work budget (--fault-budget), counted in
+/// implication-engine assignments (trail pushes). One budget is created
+/// per targeted fault and shared by the local search and every re-entry —
+/// like the sequential backtrack budget it is never reset, so the abort
+/// point is a pure function of (context, fault, options) and the verdict
+/// bytes stay identical across --jobs and --shard-faults, unlike a
+/// wall-clock cap.
+class WorkBudget {
+ public:
+  /// `limit` assignments may be spent; the first charge pushing the total
+  /// *past* the limit exhausts the budget (mirrors `backtracks_ > limit`).
+  explicit WorkBudget(long limit) : remaining_(limit) {}
+
+  void charge(long work) { remaining_ -= work; }
+  bool exhausted() const { return remaining_ < 0; }
+  long remaining() const { return remaining_; }
+
+ private:
+  long remaining_;
+};
 
 /// Aggregated search-core tallies of one or more TdgenSearch lifetimes —
 /// what the flow folds into StageStats so --stages can attribute the
@@ -123,6 +145,14 @@ struct TdgenOptions {
   bool reorder_lifts = false;
   /// When set, the search adds its counters here on destruction.
   SearchCounters* tally = nullptr;
+  /// Shared per-fault work budget; the decision loop charges its engine's
+  /// assignment deltas against it and aborts once it is exhausted. The
+  /// flow distinguishes such aborts from backtrack-limit aborts by asking
+  /// the budget afterwards.
+  WorkBudget* work_budget = nullptr;
+  /// Cooperative cancellation: polled once per decision-loop iteration;
+  /// a fired token unwinds via throw_cancelled() (Error, kind Cancelled).
+  const CancelToken* cancel = nullptr;
   /// Optional pre-sorted observation-distance cone for the fault site
   /// (TdgenSearch::sorted_cone() of an earlier search over the same model
   /// and fault line). Re-entries reuse the first search's cone instead of
@@ -257,6 +287,10 @@ class TdgenSearch {
   const std::vector<alg::NodeId>* cone_;
   std::vector<PpoPin> pins_;
   std::optional<alg::NodeId> required_obs_;
+  /// Engine trail pushes already charged to options_.work_budget — the
+  /// decision loop charges deltas so shared budgets accumulate exactly
+  /// one search's work once, however often next() resumes.
+  long budget_charged_ = 0;
   std::vector<Decision> stack_;
   std::set<std::string> published_;
   /// Source-set vectors (PIs + PPI initials) already taken through

@@ -1,0 +1,80 @@
+# Failure isolation on the gdf_atpg binary: an injected per-cell failure
+# under --on-error skip must change exactly that cell's row (into a
+# deterministic `# error:` line at its canonical position) and leave every
+# other row byte-identical; under the default abort policy the same
+# failure exits 1; under retry:N a transient failure leaves no trace.
+# Registered by tests/CMakeLists.txt as `cli_error_isolation`.
+#
+# Usage: cmake -DGDF_ATPG=<path> -P check_error_isolation.cmake
+
+set(sweep_args --circuit s27 --circuit c17 --circuit s298
+    --csv --no-seconds --jobs 2)
+
+execute_process(
+  COMMAND ${GDF_ATPG} ${sweep_args}
+  OUTPUT_VARIABLE reference_out
+  RESULT_VARIABLE reference_rc)
+if(NOT reference_rc EQUAL 0)
+  message(FATAL_ERROR "reference run failed (rc=${reference_rc})")
+endif()
+
+# skip: the c17 row becomes an error row, everything else keeps its bytes.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env GDF_FI=cell-throw:c17
+          ${GDF_ATPG} ${sweep_args} --on-error skip
+  OUTPUT_VARIABLE skip_out
+  RESULT_VARIABLE skip_rc)
+if(NOT skip_rc EQUAL 0)
+  message(FATAL_ERROR "--on-error skip run failed (rc=${skip_rc})")
+endif()
+string(REPLACE "c17,34,0,0,28"
+       "# error: circuit=c17 cell=1 kind=resource: fault injection: forced failure for cell 'c17'"
+       expected_skip "${reference_out}")
+if(expected_skip STREQUAL reference_out)
+  # The substitution anchor drifted (c17's row changed upstream): fall
+  # back to structural checks instead of full-byte equality.
+  if(NOT skip_out MATCHES "# error: circuit=c17 cell=1 kind=resource:")
+    message(FATAL_ERROR "skip run did not emit c17's error row:\n${skip_out}")
+  endif()
+  string(REGEX REPLACE "[^\n]*c17[^\n]*\n" "" ref_rest "${reference_out}")
+  string(REGEX REPLACE "[^\n]*c17[^\n]*\n" "" skip_rest "${skip_out}")
+  if(NOT ref_rest STREQUAL skip_rest)
+    message(FATAL_ERROR "skip changed rows other than the failing cell:\n"
+                        "=== reference ===\n${ref_rest}\n"
+                        "=== skip ===\n${skip_rest}")
+  endif()
+elseif(NOT skip_out STREQUAL expected_skip)
+  message(FATAL_ERROR "skip output is not reference-with-one-error-row:\n"
+                      "=== expected ===\n${expected_skip}\n"
+                      "=== actual ===\n${skip_out}")
+endif()
+
+# abort (default): the injected failure is a user-facing error, exit 1.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env GDF_FI=cell-throw:c17
+          ${GDF_ATPG} ${sweep_args}
+  OUTPUT_VARIABLE abort_out
+  ERROR_VARIABLE abort_err
+  RESULT_VARIABLE abort_rc)
+if(NOT abort_rc EQUAL 1)
+  message(FATAL_ERROR "aborting run should exit 1, got rc=${abort_rc}")
+endif()
+
+# retry:3 over a twice-firing injection: the third attempt succeeds and
+# the output is byte-identical to the clean reference.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env GDF_FI=cell-throw:c17:2
+          ${GDF_ATPG} ${sweep_args} --on-error retry:3
+  OUTPUT_VARIABLE retry_out
+  RESULT_VARIABLE retry_rc)
+if(NOT retry_rc EQUAL 0)
+  message(FATAL_ERROR "--on-error retry:3 run failed (rc=${retry_rc})")
+endif()
+if(NOT retry_out STREQUAL reference_out)
+  message(FATAL_ERROR "retried run differs from the clean reference:\n"
+                      "=== retry ===\n${retry_out}\n"
+                      "=== reference ===\n${reference_out}")
+endif()
+
+message(STATUS "error isolation holds: skip isolates, abort fails fast, "
+               "retry recovers")

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
+#include "base/cancel.hpp"
 #include "base/clause_arena.hpp"
 #include "base/error.hpp"
+#include "base/fault_injection.hpp"
 #include "base/rng.hpp"
 #include "base/string_util.hpp"
 #include "base/timer.hpp"
@@ -190,6 +193,115 @@ TEST(Stopwatch, MeasuresNonNegativeTime) {
   EXPECT_GE(sw.seconds(), 0.0);
   sw.reset();
   EXPECT_GE(sw.millis(), 0.0);
+}
+
+TEST(ErrorTaxonomy, KindsNameAndDefault) {
+  EXPECT_STREQ(error_kind_name(ErrorKind::Input), "input");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Resource), "resource");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Internal), "internal");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Cancelled), "cancelled");
+  const Error plain("boom");
+  EXPECT_EQ(plain.kind(), ErrorKind::Input);
+  const Error typed(ErrorKind::Resource, "disk");
+  EXPECT_EQ(typed.kind(), ErrorKind::Resource);
+}
+
+TEST(ErrorTaxonomy, CheckHelpersTagTheirKind) {
+  try {
+    check(false, "bad input");
+    FAIL() << "check did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Input);
+  }
+  try {
+    check_resource(false, "bad io");
+    FAIL() << "check_resource did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Resource);
+  }
+  try {
+    throw_cancelled();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Cancelled);
+  }
+}
+
+TEST(CancelTokenTest, LatchesAndFreeFunctionHandlesNull) {
+  CancelToken token;
+  EXPECT_FALSE(token.requested());
+  EXPECT_FALSE(cancel_requested(&token));
+  EXPECT_FALSE(cancel_requested(nullptr));
+  token.request();
+  EXPECT_TRUE(token.requested());
+  EXPECT_TRUE(cancel_requested(&token));
+  token.request();  // idempotent
+  EXPECT_TRUE(token.requested());
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("GDF_FI");
+    fi::reset_for_testing();
+  }
+};
+
+TEST_F(FaultInjectionTest, DisabledWithoutEnv) {
+  ::unsetenv("GDF_FI");
+  fi::reset_for_testing();
+  EXPECT_FALSE(fi::enabled());
+  EXPECT_NO_THROW(fi::fire_cell_throw("s27"));
+  EXPECT_NO_THROW(fi::fire_read_fail("/any/path.bench"));
+  EXPECT_FALSE(fi::fire_journal_truncate());
+}
+
+TEST_F(FaultInjectionTest, CellThrowHonorsLabelAndLimit) {
+  ::setenv("GDF_FI", "cell-throw:s27:2", 1);
+  fi::reset_for_testing();
+  EXPECT_TRUE(fi::enabled());
+  EXPECT_NO_THROW(fi::fire_cell_throw("c17"));  // other labels untouched
+  for (int i = 0; i < 2; ++i) {
+    try {
+      fi::fire_cell_throw("s27");
+      FAIL() << "armed cell-throw did not fire";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::Resource);
+    }
+  }
+  // The [:2] budget is spent; the probe is inert now — exactly what an
+  // --on-error retry:N run recovers from.
+  EXPECT_NO_THROW(fi::fire_cell_throw("s27"));
+  fi::reset_for_testing();  // re-arms
+  EXPECT_THROW(fi::fire_cell_throw("s27"), Error);
+}
+
+TEST_F(FaultInjectionTest, ReadFailMatchesSubstring) {
+  ::setenv("GDF_FI", "read-fail:missing", 1);
+  fi::reset_for_testing();
+  EXPECT_NO_THROW(fi::fire_read_fail("/tmp/present.bench"));
+  try {
+    fi::fire_read_fail("/tmp/missing.bench");
+    FAIL() << "armed read-fail did not fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Resource);
+  }
+}
+
+TEST_F(FaultInjectionTest, JournalTruncateFiresOnce) {
+  ::setenv("GDF_FI", "journal-truncate", 1);
+  fi::reset_for_testing();
+  EXPECT_TRUE(fi::fire_journal_truncate());
+  EXPECT_FALSE(fi::fire_journal_truncate());
+}
+
+TEST_F(FaultInjectionTest, StallReturnsEarlyOnCancel) {
+  ::setenv("GDF_FI", "stall:s27:60000", 1);
+  fi::reset_for_testing();
+  CancelToken cancel;
+  cancel.request();
+  const Stopwatch sw;
+  fi::fire_stall("s27", &cancel);  // must not sleep the full minute
+  EXPECT_LT(sw.seconds(), 5.0);
 }
 
 }  // namespace

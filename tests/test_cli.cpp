@@ -57,6 +57,49 @@ TEST(ArgsTest, UsageMentionsNewFlags) {
   EXPECT_NE(text.find("--learned-limit"), std::string::npos);
   EXPECT_NE(text.find("--restarts"), std::string::npos);
   EXPECT_NE(text.find("--restart-base"), std::string::npos);
+  EXPECT_NE(text.find("--on-error"), std::string::npos);
+  EXPECT_NE(text.find("--fault-budget"), std::string::npos);
+  EXPECT_NE(text.find("--journal"), std::string::npos);
+  EXPECT_NE(text.find("--resume"), std::string::npos);
+}
+
+TEST(ArgsTest, RobustExecutionFlags) {
+  const DriverConfig defaults = parse({"--all"});
+  EXPECT_EQ(defaults.on_error.mode, run::ErrorPolicy::Mode::Abort);
+  EXPECT_EQ(defaults.atpg.fault_budget, 0);
+  EXPECT_TRUE(defaults.journal.empty());
+  EXPECT_FALSE(defaults.resume);
+
+  const DriverConfig skip = parse({"--all", "--on-error", "skip"});
+  EXPECT_EQ(skip.on_error.mode, run::ErrorPolicy::Mode::Skip);
+  const DriverConfig retry = parse({"--all", "--on-error", "retry:2"});
+  EXPECT_EQ(retry.on_error.mode, run::ErrorPolicy::Mode::Retry);
+  EXPECT_EQ(retry.on_error.retries, 2);
+  EXPECT_THROW(parse({"--all", "--on-error", "retry:0"}), Error);
+  EXPECT_THROW(parse({"--all", "--on-error", "never"}), Error);
+
+  EXPECT_EQ(parse({"--all", "--fault-budget", "5000"}).atpg.fault_budget,
+            5000);
+  EXPECT_THROW(parse({"--all", "--fault-budget", "0"}), Error);
+
+  const DriverConfig journaled =
+      parse({"--all", "--journal", "run.j", "--resume"});
+  EXPECT_EQ(journaled.journal, "run.j");
+  EXPECT_TRUE(journaled.resume);
+  // --resume without a journal has nothing to replay; --stages output is
+  // not journaled, so the combination could not resume faithfully.
+  EXPECT_THROW(parse({"--all", "--resume"}), Error);
+  EXPECT_THROW(parse({"--all", "--journal", "run.j", "--stages"}), Error);
+}
+
+TEST(ArgsTest, RobustFlagsReachTheSweepSpec) {
+  const DriverConfig config = parse(
+      {"--circuit", "s27", "--on-error", "skip", "--journal", "run.j"});
+  const run::SweepSpec spec = sweep_spec(config);
+  EXPECT_EQ(spec.on_error.mode, run::ErrorPolicy::Mode::Skip);
+  EXPECT_TRUE(spec.disable_memo);  // journaled rows must replay verbatim
+  const run::SweepSpec plain = sweep_spec(parse({"--circuit", "s27"}));
+  EXPECT_FALSE(plain.disable_memo);
 }
 
 TEST(ArgsTest, LaneWidthChoices) {

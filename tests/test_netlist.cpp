@@ -243,5 +243,78 @@ TEST(StatsTest, CountsTiny) {
   EXPECT_EQ(s.depth, 2);
 }
 
+// Malformed-.bench corpus: every failure mode must surface as a
+// structured Input error whose message names the offending source line,
+// so a bad file in a thousand-circuit sweep is diagnosable from its
+// `# error:` row alone.
+
+/// Runs `body`, asserts it throws gdf::Error of kind Input, and returns
+/// the message.
+template <typename Fn>
+std::string input_error_of(Fn&& body) {
+  try {
+    body();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Input);
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a gdf::Error";
+  return "";
+}
+
+TEST(BenchCorpusTest, TruncatedLineNamesTheLine) {
+  const std::string msg = input_error_of(
+      [] { parse_bench("INPUT(a)\nOUTPUT(y)\ny = NAND(a", "trunc"); });
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(BenchCorpusTest, DuplicateGateNamesTheLine) {
+  const std::string msg = input_error_of([] {
+    parse_bench(
+        "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n", "dup");
+  });
+  EXPECT_NE(msg.find("'y' defined twice"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(line 4)"), std::string::npos) << msg;
+}
+
+TEST(BenchCorpusTest, UndefinedFaninNamesTheLine) {
+  const std::string msg = input_error_of([] {
+    parse_bench("INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n", "undef");
+  });
+  EXPECT_NE(msg.find("undefined net 'ghost'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(line 3)"), std::string::npos) << msg;
+}
+
+TEST(BenchCorpusTest, UndefinedOutputNamesTheLine) {
+  const std::string msg = input_error_of(
+      [] { parse_bench("INPUT(a)\nOUTPUT(y)\n", "noout"); });
+  EXPECT_NE(msg.find("'y' is never defined"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(line 2)"), std::string::npos) << msg;
+}
+
+TEST(BenchCorpusTest, CombinationalCycleFailsValidation) {
+  const Netlist nl = parse_bench(
+      "INPUT(i)\nOUTPUT(a)\na = NAND(i, b)\nb = NOT(a)\n", "cyc");
+  const std::string msg =
+      input_error_of([&] { validate_or_throw(nl); });
+  EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+}
+
+TEST(BenchCorpusTest, EmptyFileFailsValidation) {
+  const Netlist nl = parse_bench("", "empty");
+  const std::string msg =
+      input_error_of([&] { validate_or_throw(nl); });
+  EXPECT_NE(msg.find("no primary inputs"), std::string::npos) << msg;
+}
+
+TEST(BenchCorpusTest, MissingFileIsAResourceError) {
+  try {
+    read_bench_file("/nonexistent/gdf-no-such-file.bench");
+    FAIL() << "missing file did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Resource);
+  }
+}
+
 }  // namespace
 }  // namespace gdf::net

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -12,16 +13,21 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "base/error.hpp"
+#include "base/fault_injection.hpp"
 #include "circuits/catalog.hpp"
 #include "cli/args.hpp"
 #include "netlist/bench_io.hpp"
 #include "core/delay_atpg.hpp"
 #include "run/fault_order.hpp"
+#include "run/journal.hpp"
 #include "run/session.hpp"
 #include "run/shard.hpp"
 #include "run/sweep.hpp"
 #include "run/thread_pool.hpp"
+#include "sim/lanes.hpp"
+#include "tdgen/tdgen.hpp"
 
 namespace gdf::run {
 namespace {
@@ -602,6 +608,326 @@ TEST(SweepOrchestratorTest, CliSpecMatchesInProcessSweep) {
 
   const std::string csv = csv_of_sweep(spec, 2);
   EXPECT_NE(csv.find("s27,"), std::string::npos);
+}
+
+TEST(ErrorPolicyTest, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_on_error("abort").mode, ErrorPolicy::Mode::Abort);
+  EXPECT_EQ(parse_on_error("skip").mode, ErrorPolicy::Mode::Skip);
+  const ErrorPolicy retry = parse_on_error("retry:3");
+  EXPECT_EQ(retry.mode, ErrorPolicy::Mode::Retry);
+  EXPECT_EQ(retry.retries, 3);
+  EXPECT_EQ(on_error_name(parse_on_error("abort")), "abort");
+  EXPECT_EQ(on_error_name(parse_on_error("skip")), "skip");
+  EXPECT_EQ(on_error_name(retry), "retry:3");
+  EXPECT_THROW(parse_on_error("retry:0"), Error);
+  EXPECT_THROW(parse_on_error("retry:"), Error);
+  EXPECT_THROW(parse_on_error("ignore"), Error);
+}
+
+TEST(ErrorPolicyTest, ErrorRowBytesAreDeterministic) {
+  SweepRow row;
+  row.job.index = 7;
+  row.job.circuit.label = "s298";
+  row.error = "cannot open bench file 's298.bench'";
+  row.error_kind = ErrorKind::Resource;
+  EXPECT_EQ(format_sweep_error_row(row),
+            "# error: circuit=s298 cell=7 kind=resource: "
+            "cannot open bench file 's298.bench'");
+}
+
+TEST(WorkBudgetTest, CountsChargesAndExhaustsPastTheLimit) {
+  tdgen::WorkBudget budget(10);
+  EXPECT_EQ(budget.remaining(), 10);
+  budget.charge(10);
+  EXPECT_FALSE(budget.exhausted());  // mirrors backtracks_ > limit
+  budget.charge(1);
+  EXPECT_TRUE(budget.exhausted());
+}
+
+// --fault-budget's abort point is a pure function of the fault: the
+// verdicts (and the budget-abort attribution) are identical whether the
+// fault list runs sequentially or sharded, at any worker count.
+TEST(WorkBudgetTest, BudgetedRunsAreShardAndJobsInvariant) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s298")};
+  spec.base.fault_budget = 300;  // tight: forces budget aborts
+
+  std::vector<std::string> outputs;
+  long budget_aborts = -1;
+  for (const unsigned jobs : {1u, 4u}) {
+    for (const bool shard : {false, true}) {
+      SweepSpec s = spec;
+      s.jobs = jobs;
+      s.include_seconds = false;
+      s.shard.policy =
+          shard ? ShardConfig::Policy::Forced : ShardConfig::Policy::Off;
+      s.shard.workers = shard ? 4 : 0;
+      std::string csv;
+      run_sweep(s, [&](const SweepRow& row) {
+        csv += format_sweep_csv_row(s, row) + "\n";
+        if (budget_aborts < 0) {
+          budget_aborts = row.stages.aborted_budget;
+        } else {
+          EXPECT_EQ(row.stages.aborted_budget, budget_aborts);
+        }
+      });
+      outputs.push_back(csv);
+    }
+  }
+  for (std::size_t i = 1; i < outputs.size(); ++i) {
+    EXPECT_EQ(outputs[0], outputs[i]) << "variant " << i;
+  }
+  EXPECT_GT(budget_aborts, 0);  // the cap actually bit, and is attributed
+}
+
+TEST(JournalTest, RecordsAndReplaysRows) {
+  const std::string path = ::testing::TempDir() + "gdf_journal_basic.j";
+  std::filesystem::remove(path);
+  {
+    SweepJournal journal;
+    journal.open(path, 0xabcdULL, false);
+    EXPECT_TRUE(journal.active());
+    journal.record(0, "s27,20,6,0,14");
+    journal.record(1, "c17,22,0,0,12");
+  }
+  SweepJournal resumed;
+  resumed.open(path, 0xabcdULL, true);
+  ASSERT_EQ(resumed.completed().size(), 2u);
+  EXPECT_EQ(resumed.completed()[0].first, 0u);
+  EXPECT_EQ(resumed.completed()[0].second, "s27,20,6,0,14");
+  EXPECT_EQ(resumed.completed()[1].second, "c17,22,0,0,12");
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, RefusesAForeignFingerprint) {
+  const std::string path = ::testing::TempDir() + "gdf_journal_foreign.j";
+  std::filesystem::remove(path);
+  {
+    SweepJournal journal;
+    journal.open(path, 1ULL, false);
+    journal.record(0, "row");
+  }
+  SweepJournal resumed;
+  try {
+    resumed.open(path, 2ULL, true);
+    FAIL() << "fingerprint mismatch did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Input);
+    EXPECT_NE(std::string(e.what()).find("different sweep configuration"),
+              std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, TornTailIsDiscardedOnResume) {
+  const std::string path = ::testing::TempDir() + "gdf_journal_torn.j";
+  std::filesystem::remove(path);
+  {
+    SweepJournal journal;
+    journal.open(path, 9ULL, false);
+    journal.record(0, "s27,20,6,0,14");
+    // Injected mid-write kill: the next record is half a line, no
+    // newline — what a real SIGKILL between write() and completion
+    // leaves behind.
+    ::setenv("GDF_FI", "journal-truncate", 1);
+    fi::reset_for_testing();
+    journal.record(1, "c17,22,0,0,12");
+    ::unsetenv("GDF_FI");
+    fi::reset_for_testing();
+  }
+  SweepJournal resumed;
+  resumed.open(path, 9ULL, true);
+  ASSERT_EQ(resumed.completed().size(), 1u);  // torn record discarded
+  EXPECT_EQ(resumed.completed()[0].second, "s27,20,6,0,14");
+  // Appends continue a well-formed file: re-record the lost row, reopen.
+  resumed.record(1, "c17,22,0,0,12");
+  resumed.close();
+  SweepJournal again;
+  again.open(path, 9ULL, true);
+  EXPECT_EQ(again.completed().size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(SweepFingerprintTest, PinsJobListAndLayout) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s27")};
+  const std::uint64_t base = sweep_fingerprint(spec, true);
+  EXPECT_EQ(base, sweep_fingerprint(spec, true));  // stable
+  EXPECT_NE(base, sweep_fingerprint(spec, false));  // layout matters
+  SweepSpec seeded = spec;
+  seeded.base.fill_seed = 7;
+  EXPECT_NE(base, sweep_fingerprint(seeded, true));
+  SweepSpec budgeted = spec;
+  budgeted.base.fault_budget = 100;
+  EXPECT_NE(base, sweep_fingerprint(budgeted, true));
+  // Lane width never changes the bytes, so it must not invalidate a
+  // journal.
+  SweepSpec lanes = spec;
+  lanes.base.lanes.width = sim::LaneSpec::Width::W64;
+  EXPECT_EQ(base, sweep_fingerprint(lanes, true));
+}
+
+class SweepFaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("GDF_FI");
+    fi::reset_for_testing();
+  }
+
+  static SweepSpec three_circuits() {
+    SweepSpec spec;
+    spec.circuits = {CircuitSource::catalog("s27"),
+                     CircuitSource::catalog("c17"),
+                     CircuitSource::catalog("s298")};
+    spec.include_seconds = false;
+    spec.jobs = 2;
+    return spec;
+  }
+
+  static std::vector<std::string> rows_of(const SweepSpec& spec,
+                                          SweepStats* stats = nullptr) {
+    std::vector<std::string> rows;
+    const SweepStats s = run_sweep(spec, [&](const SweepRow& row) {
+      rows.push_back(row.error.empty() ? format_sweep_csv_row(spec, row)
+                                       : format_sweep_error_row(row));
+    });
+    if (stats != nullptr) {
+      *stats = s;
+    }
+    return rows;
+  }
+};
+
+// The failure-isolation contract: an injected failure under --on-error
+// skip changes that cell's row into a deterministic `# error:` line and
+// nothing else — every other row keeps its exact bytes and position.
+TEST_F(SweepFaultInjectionTest, SkipIsolatesTheFailingCell) {
+  const std::vector<std::string> reference = rows_of(three_circuits());
+  ASSERT_EQ(reference.size(), 3u);
+
+  ::setenv("GDF_FI", "cell-throw:c17", 1);
+  fi::reset_for_testing();
+  SweepSpec spec = three_circuits();
+  spec.on_error = parse_on_error("skip");
+  SweepStats stats;
+  const std::vector<std::string> rows = rows_of(spec, &stats);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], reference[0]);
+  EXPECT_EQ(rows[1],
+            "# error: circuit=c17 cell=1 kind=resource: "
+            "fault injection: forced failure for cell 'c17'");
+  EXPECT_EQ(rows[2], reference[2]);
+  EXPECT_EQ(stats.error_cells, 1);
+  EXPECT_EQ(stats.emitted, 3);
+  EXPECT_FALSE(stats.interrupted);
+}
+
+// Under the default abort policy the same injected failure is rethrown at
+// its canonical position — the pre-policy fail-fast behavior.
+TEST_F(SweepFaultInjectionTest, AbortRethrowsTheFirstFailure) {
+  ::setenv("GDF_FI", "cell-throw:c17", 1);
+  fi::reset_for_testing();
+  const SweepSpec spec = three_circuits();
+  try {
+    rows_of(spec);
+    FAIL() << "aborting sweep did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Resource);
+  }
+}
+
+// retry:N re-runs Resource failures with bounded backoff; a fault that
+// clears within the budget leaves no trace in the rows.
+TEST_F(SweepFaultInjectionTest, RetryRecoversTransientFailures) {
+  const std::vector<std::string> reference = rows_of(three_circuits());
+
+  ::setenv("GDF_FI", "cell-throw:c17:2", 1);
+  fi::reset_for_testing();
+  SweepSpec spec = three_circuits();
+  spec.on_error = parse_on_error("retry:3");
+  SweepStats stats;
+  const std::vector<std::string> rows = rows_of(spec, &stats);
+  EXPECT_EQ(rows, reference);
+  EXPECT_EQ(stats.error_cells, 0);
+  EXPECT_EQ(stats.retries, 2);  // two injected failures, third try wins
+}
+
+// A failed circuit *load* under skip yields error rows for every cell of
+// that circuit; the other circuits are untouched.
+TEST_F(SweepFaultInjectionTest, LoadFailureMarksTheWholeCircuit) {
+  const std::vector<std::string> reference = rows_of(three_circuits());
+
+  // The generated catalog never reads files, so point c17 at a bench
+  // path the read-fail directive matches.
+  ::setenv("GDF_FI", "read-fail:flaky", 1);
+  fi::reset_for_testing();
+  SweepSpec spec = three_circuits();
+  spec.circuits[1] = CircuitSource::file("/tmp/flaky_c17.bench");
+  spec.on_error = parse_on_error("skip");
+  SweepStats stats;
+  const std::vector<std::string> rows = rows_of(spec, &stats);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], reference[0]);
+  EXPECT_NE(rows[1].find("# error: circuit=flaky_c17 cell=1 "
+                         "kind=resource:"),
+            std::string::npos)
+      << rows[1];
+  EXPECT_EQ(rows[2], reference[2]);
+  EXPECT_EQ(stats.error_cells, 1);
+}
+
+// A cancel token that fired before the sweep starts drains to an empty
+// partial result instead of running anything (the SIGINT-before-work
+// case).
+TEST(SweepCancelTest, PreFiredTokenYieldsEmptyInterruptedRun) {
+  CancelToken cancel;
+  cancel.request();
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s27"),
+                   CircuitSource::catalog("c17")};
+  spec.include_seconds = false;
+  spec.cancel = &cancel;
+  spec.base.cancel = &cancel;
+  long emitted = 0;
+  const SweepStats stats =
+      run_sweep(spec, [&](const SweepRow&) { ++emitted; });
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_EQ(emitted, 0);
+  EXPECT_EQ(stats.emitted, 0);
+  EXPECT_EQ(stats.total_cells, 2);
+}
+
+// resume_done replays cells without recomputing them: the replayed cell
+// comes back flagged (the caller re-emits its journaled text) and the
+// fresh cells keep their exact bytes.
+TEST(SweepResumeTest, ReplayedCellsAreNotRecomputed) {
+  SweepSpec spec;
+  spec.circuits = {CircuitSource::catalog("s27"),
+                   CircuitSource::catalog("c17")};
+  spec.include_seconds = false;
+  std::vector<std::string> reference;
+  run_sweep(spec, [&](const SweepRow& row) {
+    reference.push_back(format_sweep_csv_row(spec, row));
+  });
+
+  SweepSpec resumed = spec;
+  resumed.resume_done = {0};
+  std::vector<std::pair<bool, std::string>> rows;
+  const SweepStats stats = run_sweep(resumed, [&](const SweepRow& row) {
+    rows.emplace_back(row.replayed,
+                      row.replayed ? std::string()
+                                   : format_sweep_csv_row(resumed, row));
+  });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].first);
+  EXPECT_FALSE(rows[1].first);
+  EXPECT_EQ(rows[1].second, reference[1]);
+  EXPECT_EQ(stats.replayed_cells, 1);
+  EXPECT_EQ(stats.emitted, 2);
+
+  SweepSpec bad = spec;
+  bad.resume_done = {5};
+  EXPECT_THROW(run_sweep(bad, [](const SweepRow&) {}), Error);
 }
 
 }  // namespace
